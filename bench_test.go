@@ -1,0 +1,201 @@
+// Benchmarks, one per table/figure of the reproduced evaluation (DESIGN.md
+// experiment index). Each benchmark runs a reduced-scale variant of its
+// experiment's workload so `go test -bench=.` finishes in minutes; the
+// full-scale numbers come from `go run ./cmd/dophy-bench`.
+//
+// Fixed seeds keep the work per iteration identical across runs, so ns/op
+// is comparable between machines and commits.
+package dophy
+
+import (
+	"testing"
+
+	"dophy/internal/experiment"
+)
+
+// benchScenario is the reduced workload shared by the per-experiment
+// benchmarks: 25 nodes, one epoch.
+func benchScenario(seed uint64) experiment.Scenario {
+	sc := experiment.DefaultScenario()
+	sc.Seed = seed
+	sc.Topo = experiment.GridSpec(5)
+	sc.Epochs = 1
+	sc.EpochLen = 150
+	return sc
+}
+
+// BenchmarkT1NetworkSize exercises the encoding-overhead workload: a full
+// simulated epoch with all five recording schemes attached (table T1).
+func BenchmarkT1NetworkSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScenario(1)
+		res := experiment.Run(sc)
+		if res.MeanBitsPerPacket(experiment.SchemeDophy) <= 0 {
+			b.Fatal("no overhead measured")
+		}
+	}
+}
+
+// BenchmarkF1PathLength exercises the deep-network workload behind the
+// overhead-vs-path-length figure (F1): a corridor forces long paths.
+func BenchmarkF1PathLength(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScenario(2)
+		sc.Topo = experiment.TopoSpec{Kind: experiment.TopoChain, N: 15, Spacing: 10, Range: 11}
+		res := experiment.Run(sc)
+		if len(res.Epochs[0].PerPacket) == 0 {
+			b.Fatal("no packets")
+		}
+	}
+}
+
+// BenchmarkF2TrafficVolume exercises the accuracy-vs-traffic workload (F2):
+// estimation epochs at high generation rate.
+func BenchmarkF2TrafficVolume(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScenario(3)
+		sc.Collect.GenPeriod = 2
+		res := experiment.Run(sc)
+		if res.MeanAccuracy(experiment.SchemeDophy).Links == 0 {
+			b.Fatal("nothing estimated")
+		}
+	}
+}
+
+// BenchmarkF3RoutingDynamics exercises the churn workload (F3): forced
+// parent randomisation on every beacon cycle.
+func BenchmarkF3RoutingDynamics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScenario(4)
+		sc.Routing.RandomizeParentProb = 0.3
+		res := experiment.Run(sc)
+		if res.ParentChangesPerNodePerEpoch <= 0 {
+			b.Fatal("no churn")
+		}
+	}
+}
+
+// BenchmarkF4LossLevels exercises the uniform-loss workload (F4).
+func BenchmarkF4LossLevels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScenario(5)
+		sc.Radio = experiment.RadioSpec{Kind: experiment.RadioUniformLoss, UniformLoss: 0.2}
+		experiment.Run(sc)
+	}
+}
+
+// BenchmarkF5ErrorCDF exercises the error-distribution workload (F5):
+// scoring every scheme against ground truth.
+func BenchmarkF5ErrorCDF(b *testing.B) {
+	sc := benchScenario(6)
+	res := experiment.Run(sc)
+	eo := res.Epochs[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range []string{experiment.SchemeDophy, experiment.SchemeMINC, experiment.SchemeLSQ} {
+			experiment.Score(eo.Schemes[s], eo.Truth, sc.MinTruthAttempts)
+		}
+	}
+}
+
+// BenchmarkT2Aggregation exercises the aggregation-threshold workload (T2):
+// Dophy with and without symbol aggregation over the same epoch.
+func BenchmarkT2Aggregation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScenario(7)
+		sc.Dophy.AggThreshold = 2
+		experiment.Run(sc)
+	}
+}
+
+// BenchmarkT3ModelUpdate exercises the drifting-model workload (T3):
+// random-walk link dynamics with per-epoch model updates.
+func BenchmarkT3ModelUpdate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScenario(8)
+		sc.Radio = experiment.RadioSpec{Kind: experiment.RadioRandomWalk, WalkStep: 0.3, WalkEvery: 5}
+		sc.Dophy.UpdateEvery = 1
+		sc.Epochs = 2
+		experiment.Run(sc)
+	}
+}
+
+// BenchmarkF6Validation exercises the analytic-validation workload (F6): a
+// high-rate single-hop chain.
+func BenchmarkF6Validation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScenario(9)
+		sc.Topo = experiment.TopoSpec{Kind: experiment.TopoChain, N: 2, Spacing: 10, Range: 11}
+		sc.Radio = experiment.RadioSpec{Kind: experiment.RadioUniformLoss, UniformLoss: 0.3}
+		sc.Collect.GenPeriod = 0.5
+		experiment.Run(sc)
+	}
+}
+
+// BenchmarkT4EndToEnd is the throughput experiment itself (T4): one full
+// mid-size epoch, reported as ns/op so sim-seconds-per-wall-second can be
+// derived.
+func BenchmarkT4EndToEnd(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc := benchScenario(10)
+		sc.Topo = experiment.GridSpec(7)
+		experiment.Run(sc)
+	}
+}
+
+// BenchmarkPublicAPIEpoch measures the facade: one epoch through the public
+// Simulation type, the path example code takes.
+func BenchmarkPublicAPIEpoch(b *testing.B) {
+	sim, err := NewSimulation(Options{GridSide: 5, Seed: 11, EpochSeconds: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := sim.RunEpoch(); rep.DecodeErrors != 0 {
+			b.Fatal("decode errors")
+		}
+	}
+}
+
+// BenchmarkT5HopModels exercises the hop-identity model extension (T5).
+func BenchmarkT5HopModels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScenario(12)
+		sc.Dophy.HopModelUpdateEvery = 1
+		sc.Dophy.HopModelTotal = 256
+		experiment.Run(sc)
+	}
+}
+
+// BenchmarkT6RetryBudget exercises the retry-budget workload (T6) at the
+// low-budget end where drops dominate.
+func BenchmarkT6RetryBudget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScenario(13)
+		sc.Mac.MaxRetx = 1
+		experiment.Run(sc)
+	}
+}
+
+// BenchmarkF7NodeFailures exercises the crash/recover workload (F7).
+func BenchmarkF7NodeFailures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScenario(14)
+		sc.Radio.FailMTBF = 120
+		sc.Radio.FailMTTR = 30
+		experiment.Run(sc)
+	}
+}
+
+// BenchmarkF8BurstyLosses exercises the Gilbert-Elliott workload (F8).
+func BenchmarkF8BurstyLosses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScenario(15)
+		sc.Radio = experiment.RadioSpec{
+			Kind: experiment.RadioGilbertElliott, MeanGood: 60, MeanBad: 15, BadFactor: 0.3,
+		}
+		experiment.Run(sc)
+	}
+}

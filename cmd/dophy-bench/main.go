@@ -1,0 +1,108 @@
+// dophy-bench regenerates every table and figure of the reproduced
+// evaluation (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+// recorded results).
+//
+// Usage:
+//
+//	dophy-bench                 # run all experiments, aligned text output
+//	dophy-bench -exp T1,F3      # run a subset
+//	dophy-bench -csv            # CSV output instead of aligned text
+//	dophy-bench -seed 42        # change the base seed
+//	dophy-bench -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"dophy/internal/experiment"
+)
+
+func main() {
+	var (
+		expFlag  = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		csvFlag  = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		seedFlag = flag.Uint64("seed", 7, "base seed for all experiments")
+		listFlag = flag.Bool("list", false, "list experiment ids and exit")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "experiments to run concurrently (1 = sequential)")
+	)
+	flag.Parse()
+
+	registry := experiment.All()
+	if *listFlag {
+		for _, r := range registry {
+			fmt.Printf("%-4s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *expFlag != "" {
+		for _, id := range strings.Split(*expFlag, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+		for id := range want {
+			if !knownID(registry, id) {
+				fmt.Fprintf(os.Stderr, "dophy-bench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+		}
+	}
+
+	var selected []experiment.Runner
+	for _, r := range registry {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		selected = append(selected, r)
+	}
+
+	// Experiments are fully independent and deterministic (each run derives
+	// all randomness from its own seed), so they parallelise trivially.
+	// Results are printed in registry order regardless of completion order.
+	workers := *parallel
+	if workers < 1 {
+		workers = 1
+	}
+	type outcome struct {
+		table   *experiment.Table
+		elapsed time.Duration
+	}
+	results := make([]outcome, len(selected))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, r := range selected {
+		wg.Add(1)
+		go func(i int, r experiment.Runner) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			results[i] = outcome{table: r.Run(*seedFlag), elapsed: time.Since(start)}
+		}(i, r)
+	}
+	wg.Wait()
+
+	for i, res := range results {
+		if *csvFlag {
+			fmt.Printf("# %s: %s\n%s\n", res.table.ID, res.table.Title, res.table.CSV())
+		} else {
+			fmt.Println(res.table.Format())
+			fmt.Printf("[%s completed in %.1fs]\n\n", selected[i].ID, res.elapsed.Seconds())
+		}
+	}
+}
+
+func knownID(rs []experiment.Runner, id string) bool {
+	for _, r := range rs {
+		if r.ID == id {
+			return true
+		}
+	}
+	return false
+}

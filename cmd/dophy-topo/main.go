@@ -1,0 +1,82 @@
+// dophy-topo generates and inspects the topologies the simulator uses:
+// node counts, degrees, hop depths and connectivity, for each generator at
+// a given seed. Useful when picking scenario parameters.
+//
+// Usage:
+//
+//	dophy-topo                       # summarise the standard layouts
+//	dophy-topo -kind grid -side 12
+//	dophy-topo -kind uniform -n 200 -width 120 -height 120 -range 14
+//	dophy-topo -kind corridor -n 60 -width 300 -height 15 -range 20
+//	dophy-topo -degrees              # include a degree histogram
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dophy/internal/rng"
+	"dophy/internal/topo"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "", "grid | uniform | corridor | chain (empty: tour of defaults)")
+		side    = flag.Int("side", 10, "grid side")
+		n       = flag.Int("n", 100, "node count for uniform/corridor/chain")
+		width   = flag.Float64("width", 100, "field width (uniform/corridor)")
+		height  = flag.Float64("height", 100, "field height (uniform/corridor)")
+		spacing = flag.Float64("spacing", 10, "grid/chain spacing")
+		jitter  = flag.Float64("jitter", 1.5, "grid placement jitter")
+		rrange  = flag.Float64("range", 14, "communication range")
+		seed    = flag.Uint64("seed", 1, "placement seed")
+		degrees = flag.Bool("degrees", false, "print degree histogram")
+	)
+	flag.Parse()
+
+	build := func(kind string) *topo.Topology {
+		r := rng.New(*seed)
+		switch kind {
+		case "grid":
+			return topo.Grid(*side, *spacing, *jitter, *rrange, r)
+		case "uniform":
+			return topo.Uniform(*n, *width, *height, *rrange, r)
+		case "corridor":
+			return topo.Corridor(*n, *width, *height, *rrange, r)
+		case "chain":
+			return topo.Chain(*n, *spacing, *rrange)
+		}
+		fmt.Fprintf(os.Stderr, "dophy-topo: unknown kind %q\n", kind)
+		os.Exit(2)
+		return nil
+	}
+
+	kinds := []string{"grid", "uniform", "corridor", "chain"}
+	if *kind != "" {
+		kinds = []string{*kind}
+	}
+	for _, k := range kinds {
+		t := build(k)
+		s := t.Summary()
+		fmt.Printf("%-9s nodes=%-5d links=%-6d degree=%d..%d (avg %.1f)  hops avg=%.1f max=%d  connected=%v\n",
+			k, s.Nodes, s.Links, s.MinDegree, s.MaxDegree, s.AvgDegree, s.AvgHops, s.MaxHops, s.Connected)
+		if *degrees {
+			hist := map[int]int{}
+			maxDeg := 0
+			for i := 0; i < t.N(); i++ {
+				d := len(t.Neighbors(topo.NodeID(i)))
+				hist[d]++
+				if d > maxDeg {
+					maxDeg = d
+				}
+			}
+			for d := 0; d <= maxDeg; d++ {
+				if hist[d] == 0 {
+					continue
+				}
+				fmt.Printf("  degree %2d: %4d nodes\n", d, hist[d])
+			}
+		}
+	}
+}

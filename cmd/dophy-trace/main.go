@@ -1,0 +1,148 @@
+// dophy-trace exports a simulation run's packet journeys as JSON lines, or
+// analyses a previously exported trace: it replays the journeys through the
+// Dophy sink engine and prints per-link estimates without re-simulating.
+//
+// Usage:
+//
+//	dophy-trace -export trace.jsonl -grid 7 -seconds 600   # simulate & dump
+//	dophy-trace -export - | head                           # dump to stdout
+//	dophy-trace -analyze trace.jsonl -grid 7               # replay & estimate
+//
+// The -grid/-seed options of -analyze must match the exporting run: the
+// decoder needs the topology's neighbour tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"dophy/internal/collect"
+	"dophy/internal/core"
+	"dophy/internal/experiment"
+	"dophy/internal/journal"
+	"dophy/internal/rng"
+	"dophy/internal/sim"
+	"dophy/internal/topo"
+)
+
+func main() {
+	var (
+		export  = flag.String("export", "", "simulate and write journeys to this file ('-' = stdout)")
+		analyze = flag.String("analyze", "", "replay journeys from this file through the Dophy sink")
+		grid    = flag.Int("grid", 7, "grid side of the (shared) topology")
+		seed    = flag.Uint64("seed", 1, "scenario / topology seed")
+		seconds = flag.Float64("seconds", 600, "simulated seconds to export")
+	)
+	flag.Parse()
+
+	switch {
+	case *export != "" && *analyze != "":
+		fatal("use either -export or -analyze, not both")
+	case *export != "":
+		if err := doExport(*export, *grid, *seed, *seconds); err != nil {
+			fatal(err)
+		}
+	case *analyze != "":
+		if err := doAnalyze(*analyze, *grid, *seed); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(v any) {
+	fmt.Fprintln(os.Stderr, "dophy-trace:", v)
+	os.Exit(1)
+}
+
+// buildTopo reproduces the topology an exporting run used, so an analyzing
+// run decodes against identical neighbour tables.
+func buildTopo(grid int, seed uint64) *topo.Topology {
+	sc := experiment.DefaultScenario()
+	sc.Seed = seed
+	sc.Topo = experiment.GridSpec(grid)
+	return sc.Topo.Build(rng.New(seed).Split())
+}
+
+func doExport(path string, grid int, seed uint64, seconds float64) error {
+	var out io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	w := journal.NewWriter(out)
+
+	sc := experiment.DefaultScenario()
+	sc.Seed = seed
+	sc.Topo = experiment.GridSpec(grid)
+	sc.EpochLen = sim.Time(seconds)
+	sc.Epochs = 1
+	sess := experiment.NewSession(sc)
+	var writeErr error
+	sess.SubscribeJourneys(func(j *collect.PacketJourney) {
+		if writeErr == nil {
+			writeErr = w.Write(j)
+		}
+	})
+	sess.RunEpoch()
+	if writeErr != nil {
+		return writeErr
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dophy-trace: exported %d journeys\n", w.Count())
+	return nil
+}
+
+func doAnalyze(path string, grid int, seed uint64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	tp := buildTopo(grid, seed)
+	d := core.New(tp, core.DefaultConfig())
+	r := journal.NewReader(f)
+	var journeys, delivered int64
+	for {
+		j, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		journeys++
+		if j.Delivered {
+			delivered++
+		}
+		d.OnJourney(j)
+	}
+	rep := d.EndEpoch()
+	fmt.Printf("replayed %d journeys (%d delivered); decode errors: %d\n",
+		journeys, delivered, rep.DecodeErrors)
+	fmt.Printf("annotation: %.2f bytes/packet\n\n", rep.Overhead.BytesPerPacket())
+	links := rep.SortedLinks()
+	fmt.Printf("%-10s  %-9s  %-8s  %s\n", "link", "est-loss", "stderr", "samples")
+	for _, l := range links {
+		est := rep.Links[l]
+		fmt.Printf("%-10s  %-9.4f  %-8.4f  %d\n", l, est.Loss, est.StdErr, est.Samples)
+	}
+	sort.Slice(links, func(i, j int) bool { return rep.Links[links[i]].Loss > rep.Links[links[j]].Loss })
+	if len(links) > 0 {
+		worst := links[0]
+		fmt.Printf("\nworst link: %s at %.3f loss\n", worst, rep.Links[worst].Loss)
+	}
+	return nil
+}

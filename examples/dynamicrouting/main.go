@@ -1,0 +1,56 @@
+// Dynamic-routing scenario: the experiment that motivates the paper.
+//
+// We sweep forced parent churn from "quasi-static" to "a third of all
+// beacons trigger a parent change" and watch what happens to Dophy versus
+// the traditional static-path tomography baselines (tree-EM "minc" and
+// log-linear least squares "lsq"). Dophy attributes retransmission counts
+// to links directly, so path churn barely moves it; the baselines attribute
+// end-to-end loss to an assumed static tree and suffer.
+//
+// Run with:
+//
+//	go run ./examples/dynamicrouting
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dophy"
+)
+
+func main() {
+	fmt.Println("accuracy under routing dynamics (3 epochs each, 49 nodes)")
+	fmt.Printf("%-8s  %-12s  %-10s  %-10s  %-10s\n",
+		"churn", "chg/node/ep", "dophy-MAE", "minc-MAE", "lsq-MAE")
+
+	for _, churn := range []float64{0, 0.1, 0.3, 0.5} {
+		sim, err := dophy.NewSimulation(dophy.Options{
+			GridSide:         7,
+			Seed:             7,
+			ParentChurn:      churn,
+			EpochSeconds:     300,
+			CompareBaselines: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var dMAE, mMAE, lMAE, chg float64
+		const epochs = 3
+		for e := 0; e < epochs; e++ {
+			rep := sim.RunEpoch()
+			dMAE += rep.MAE / epochs
+			mMAE += rep.BaselineMAE["minc"] / epochs
+			lMAE += rep.BaselineMAE["lsq"] / epochs
+			chg += rep.ParentChangesPerNode / epochs
+		}
+		fmt.Printf("%-8.2f  %-12.1f  %-10.4f  %-10.4f  %-10.4f\n", churn, chg, dMAE, mMAE, lMAE)
+	}
+
+	fmt.Println("\nDophy's error stays flat at every churn level and is an order")
+	fmt.Println("of magnitude below the baselines: retransmission counts name the")
+	fmt.Println("lossy link per packet, so path churn cannot smear the attribution,")
+	fmt.Println("and ARQ cannot hide fine-grained loss from it the way it hides")
+	fmt.Println("loss from end-to-end delivery ratios. (For the isolated dynamics")
+	fmt.Println("effect with baselines at their best, see `dophy-bench -exp F3`.)")
+}

@@ -1,0 +1,59 @@
+// Fault-injection scenario: nodes crash and recover while the network runs.
+//
+// A failed node's radio goes silent; the routing protocol discovers the
+// hole through missed beacons and failed transmissions and re-homes entire
+// subtrees — the most violent form of "dynamic sensor network". This
+// example sweeps the failure rate and shows Dophy keeps estimating the
+// links that are up while the static-path baselines smear loss across their
+// stale trees. (Same machinery as `dophy-bench -exp F7`.)
+//
+// Run with:
+//
+//	go run ./examples/faultinjection
+package main
+
+import (
+	"fmt"
+
+	"dophy/internal/experiment"
+)
+
+func main() {
+	fmt.Println("node failures: MTTR fixed at 60s, failure rate sweeps")
+	fmt.Printf("%-9s  %-9s  %-12s  %-10s  %-10s\n",
+		"MTBF(s)", "delivery", "churn/node", "dophy-MAE", "minc-MAE")
+
+	for _, mtbf := range []float64{0, 1200, 600, 300} {
+		sc := experiment.DefaultScenario()
+		sc.Seed = 19
+		if mtbf > 0 {
+			sc.Radio.FailMTBF = experimentTime(mtbf)
+			sc.Radio.FailMTTR = 60
+		}
+		sc.EpochLen = 400
+		sc.Epochs = 3
+		res := experiment.Run(sc)
+		var delivery, churn float64
+		for _, eo := range res.Epochs {
+			delivery += eo.Truth.DeliveryRatio() / float64(len(res.Epochs))
+			churn += float64(eo.Truth.ParentChanges) / float64(len(res.Epochs))
+		}
+		churn /= float64(res.Topology.N() - 1)
+		label := "none"
+		if mtbf > 0 {
+			label = fmt.Sprintf("%.0f", mtbf)
+		}
+		fmt.Printf("%-9s  %-9.4f  %-12.1f  %-10.4f  %-10.4f\n",
+			label, delivery,
+			churn,
+			res.MeanAccuracy(experiment.SchemeDophy).MAE,
+			res.MeanAccuracy(experiment.SchemeMINC).MAE)
+	}
+
+	fmt.Println("\neven at MTBF 300s (a node fails every five minutes on average),")
+	fmt.Println("Dophy's per-link error stays several times below the tree baseline:")
+	fmt.Println("retransmission counts keep naming the surviving links precisely.")
+}
+
+// experimentTime adapts a float64 to the scenario's duration type.
+func experimentTime(v float64) (out experiment.Duration) { return experiment.Duration(v) }

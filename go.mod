@@ -1,0 +1,3 @@
+module dophy
+
+go 1.22

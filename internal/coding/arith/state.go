@@ -1,0 +1,92 @@
+package arith
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"dophy/internal/coding/bitio"
+)
+
+// This file makes the encoder suspendable: a packet travelling hop by hop
+// carries the emitted annotation bits plus the coder registers, and each
+// forwarder resumes encoding where the previous hop stopped. The serialised
+// register state is the constant in-flight overhead Dophy pays per packet
+// (StateBytes), dropped once the sink finalises the stream.
+
+// State is a suspended encoder: registers plus the partially-filled output
+// byte. The completed output bytes travel separately (they are the
+// annotation field itself).
+type State struct {
+	Low     uint32
+	High    uint32
+	Pending uint16
+	// PartialBits is how many bits of Partial are valid (0..7).
+	PartialBits uint8
+	Partial     byte
+}
+
+// StateBytes is the serialised size of State: the per-packet in-flight
+// overhead of distributed encoding (4+4+2+1+1).
+const StateBytes = 12
+
+// Marshal packs the state into exactly StateBytes bytes.
+func (s State) Marshal() []byte {
+	out := make([]byte, StateBytes)
+	binary.BigEndian.PutUint32(out[0:], s.Low)
+	binary.BigEndian.PutUint32(out[4:], s.High)
+	binary.BigEndian.PutUint16(out[8:], s.Pending)
+	out[10] = s.PartialBits
+	out[11] = s.Partial
+	return out
+}
+
+// UnmarshalState parses a buffer produced by Marshal.
+func UnmarshalState(b []byte) (State, error) {
+	if len(b) != StateBytes {
+		return State{}, fmt.Errorf("arith: state is %d bytes, want %d", len(b), StateBytes)
+	}
+	s := State{
+		Low:         binary.BigEndian.Uint32(b[0:]),
+		High:        binary.BigEndian.Uint32(b[4:]),
+		Pending:     binary.BigEndian.Uint16(b[8:]),
+		PartialBits: b[10],
+		Partial:     b[11],
+	}
+	if s.PartialBits > 7 {
+		return State{}, errors.New("arith: partial bit count out of range")
+	}
+	return s, nil
+}
+
+// Suspend captures the encoder's registers and the writer's partial byte.
+// The encoder must not be used afterwards until resumed.
+func (e *Encoder) Suspend(w *bitio.Writer) State {
+	if e.done {
+		panic("arith: Suspend after Finish")
+	}
+	partial, nBits := w.Partial()
+	if e.pending > int(^uint16(0)) {
+		// 65k pending bits would need a stream of astronomically skewed
+		// symbols; treat as corruption rather than silently truncating.
+		panic("arith: pending bit count overflows state encoding")
+	}
+	return State{
+		Low:         uint32(e.low),
+		High:        uint32(e.high),
+		Pending:     uint16(e.pending),
+		PartialBits: uint8(nBits),
+		Partial:     partial,
+	}
+}
+
+// Resume reconstructs an encoder (and its writer) from a suspended state
+// and the completed annotation bytes emitted so far.
+func Resume(s State, completed []byte) (*Encoder, *bitio.Writer) {
+	w := bitio.NewWriterFrom(completed, s.Partial, int(s.PartialBits))
+	e := NewEncoder(w)
+	e.low = uint64(s.Low)
+	e.high = uint64(s.High)
+	e.pending = int(s.Pending)
+	return e, w
+}

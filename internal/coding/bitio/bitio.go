@@ -1,0 +1,125 @@
+// Package bitio provides MSB-first bit-level readers and writers over byte
+// slices, the transport for the arithmetic coder's output.
+package bitio
+
+// Writer accumulates bits MSB-first into a growing byte slice.
+type Writer struct {
+	buf  []byte
+	cur  byte
+	nCur int // bits currently buffered in cur
+	bits int // total bits written
+}
+
+// NewWriter returns an empty writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// WriteBit appends a single bit (any non-zero b counts as 1).
+func (w *Writer) WriteBit(b int) {
+	w.cur <<= 1
+	if b != 0 {
+		w.cur |= 1
+	}
+	w.nCur++
+	w.bits++
+	if w.nCur == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+// WriteBits appends the low n bits of v, most significant first. n must be
+// in [0, 64].
+func (w *Writer) WriteBits(v uint64, n int) {
+	if n < 0 || n > 64 {
+		panic("bitio: WriteBits width out of range")
+	}
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(int(v >> uint(i) & 1))
+	}
+}
+
+// Bits returns the number of bits written so far.
+func (w *Writer) Bits() int { return w.bits }
+
+// Partial returns the partially-filled trailing byte and how many of its
+// low-order-written bits are valid (0..7). Completed() returns the full
+// bytes. Together they allow a writer to be suspended and resumed.
+func (w *Writer) Partial() (b byte, n int) { return w.cur, w.nCur }
+
+// Completed returns the fully-written bytes (without the partial byte).
+// The returned slice is a copy.
+func (w *Writer) Completed() []byte {
+	out := make([]byte, len(w.buf))
+	copy(out, w.buf)
+	return out
+}
+
+// NewWriterFrom reconstructs a writer from completed bytes plus a partial
+// byte holding n valid bits — the inverse of Completed/Partial.
+func NewWriterFrom(completed []byte, partial byte, n int) *Writer {
+	if n < 0 || n > 7 {
+		panic("bitio: partial bit count out of range")
+	}
+	w := &Writer{
+		buf:  append([]byte(nil), completed...),
+		cur:  partial,
+		nCur: n,
+		bits: len(completed)*8 + n,
+	}
+	return w
+}
+
+// Bytes returns the written bits padded with zeros to a byte boundary. The
+// writer remains usable; Bytes may be called repeatedly.
+func (w *Writer) Bytes() []byte {
+	out := make([]byte, len(w.buf), len(w.buf)+1)
+	copy(out, w.buf)
+	if w.nCur > 0 {
+		out = append(out, w.cur<<uint(8-w.nCur))
+	}
+	return out
+}
+
+// Reader consumes bits MSB-first from a byte slice. Reads past the end
+// return zero bits, which is exactly the convention the arithmetic decoder
+// needs to flush its final symbols.
+type Reader struct {
+	buf  []byte
+	pos  int // bit position
+	over int // bits read past the end
+}
+
+// NewReader wraps buf (not copied).
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// ReadBit returns the next bit, or 0 once the input is exhausted.
+func (r *Reader) ReadBit() int {
+	byteIdx := r.pos >> 3
+	if byteIdx >= len(r.buf) {
+		r.over++
+		r.pos++
+		return 0
+	}
+	bit := int(r.buf[byteIdx]>>uint(7-r.pos&7)) & 1
+	r.pos++
+	return bit
+}
+
+// ReadBits returns the next n bits as the low bits of a uint64, MSB-first.
+func (r *Reader) ReadBits(n int) uint64 {
+	if n < 0 || n > 64 {
+		panic("bitio: ReadBits width out of range")
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		v = v<<1 | uint64(r.ReadBit())
+	}
+	return v
+}
+
+// BitsRead returns how many bits have been consumed (including synthetic
+// zero bits past the end).
+func (r *Reader) BitsRead() int { return r.pos }
+
+// Overrun returns how many bits were read past the end of the buffer.
+func (r *Reader) Overrun() int { return r.over }

@@ -1,0 +1,190 @@
+package bitio
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBits(t *testing.T) {
+	w := NewWriter()
+	w.WriteBit(1)
+	w.WriteBit(0)
+	w.WriteBit(1)
+	w.WriteBits(0b1101, 4)
+	if w.Bits() != 7 {
+		t.Fatalf("Bits() = %d", w.Bits())
+	}
+	r := NewReader(w.Bytes())
+	got := r.ReadBits(7)
+	if got != 0b1011101 {
+		t.Fatalf("roundtrip = %07b", got)
+	}
+}
+
+func TestBytesPadding(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b101, 3)
+	b := w.Bytes()
+	if len(b) != 1 || b[0] != 0b10100000 {
+		t.Fatalf("padded bytes = %08b", b)
+	}
+}
+
+func TestBytesIdempotent(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0xAB, 8)
+	w.WriteBits(0b11, 2)
+	b1 := w.Bytes()
+	b2 := w.Bytes()
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("Bytes not idempotent: %x vs %x", b1, b2)
+	}
+	// Writer must remain usable.
+	w.WriteBits(0b101010, 6)
+	r := NewReader(w.Bytes())
+	if r.ReadBits(8) != 0xAB || r.ReadBits(2) != 0b11 || r.ReadBits(6) != 0b101010 {
+		t.Fatal("continued writing after Bytes corrupted stream")
+	}
+}
+
+func TestReaderOverrun(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if r.ReadBits(8) != 0xFF {
+		t.Fatal("first byte wrong")
+	}
+	for i := 0; i < 5; i++ {
+		if r.ReadBit() != 0 {
+			t.Fatal("overrun bits must be zero")
+		}
+	}
+	if r.Overrun() != 5 {
+		t.Fatalf("Overrun() = %d", r.Overrun())
+	}
+	if r.BitsRead() != 13 {
+		t.Fatalf("BitsRead() = %d", r.BitsRead())
+	}
+}
+
+func TestWidthValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"write 65": func() { NewWriter().WriteBits(0, 65) },
+		"read -1":  func() { NewReader(nil).ReadBits(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestZeroWidthNoop(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0xFFFF, 0)
+	if w.Bits() != 0 {
+		t.Fatal("zero-width write emitted bits")
+	}
+	r := NewReader(nil)
+	if r.ReadBits(0) != 0 {
+		t.Fatal("zero-width read returned data")
+	}
+}
+
+// Property: any sequence of (value, width) writes reads back identically.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(vals []uint64, widths []uint8) bool {
+		n := len(vals)
+		if len(widths) < n {
+			n = len(widths)
+		}
+		w := NewWriter()
+		type item struct {
+			v     uint64
+			width int
+		}
+		var items []item
+		for i := 0; i < n; i++ {
+			width := int(widths[i]) % 65
+			v := vals[i]
+			if width < 64 {
+				v &= (1 << uint(width)) - 1
+			}
+			items = append(items, item{v, width})
+			w.WriteBits(v, width)
+		}
+		r := NewReader(w.Bytes())
+		for _, it := range items {
+			if r.ReadBits(it.width) != it.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriteBit(b *testing.B) {
+	w := NewWriter()
+	for i := 0; i < b.N; i++ {
+		w.WriteBit(i & 1)
+	}
+}
+
+func BenchmarkReadBit(b *testing.B) {
+	buf := make([]byte, 1<<16)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	r := NewReader(buf)
+	for i := 0; i < b.N; i++ {
+		if r.BitsRead() >= len(buf)*8 {
+			r = NewReader(buf)
+		}
+		r.ReadBit()
+	}
+}
+
+func TestWriterSuspendResume(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0b1011, 4)
+	w.WriteBits(0xDE, 8) // 12 bits: one complete byte + 4-bit partial
+	partial, n := w.Partial()
+	completed := w.Completed()
+	if len(completed) != 1 || n != 4 {
+		t.Fatalf("completed=%d bytes partial=%d bits", len(completed), n)
+	}
+	w2 := NewWriterFrom(completed, partial, n)
+	if w2.Bits() != 12 {
+		t.Fatalf("resumed bits = %d", w2.Bits())
+	}
+	w2.WriteBits(0b0110, 4)
+	r := NewReader(w2.Bytes())
+	if r.ReadBits(4) != 0b1011 || r.ReadBits(8) != 0xDE || r.ReadBits(4) != 0b0110 {
+		t.Fatal("suspend/resume corrupted the stream")
+	}
+}
+
+func TestNewWriterFromValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("partial count 8 accepted")
+		}
+	}()
+	NewWriterFrom(nil, 0, 8)
+}
+
+func TestCompletedCopies(t *testing.T) {
+	w := NewWriter()
+	w.WriteBits(0xAB, 8)
+	c := w.Completed()
+	c[0] = 0
+	if w.Bytes()[0] != 0xAB {
+		t.Fatal("Completed aliased internal buffer")
+	}
+}

@@ -1,0 +1,181 @@
+package huffman
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dophy/internal/coding/bitio"
+	"dophy/internal/coding/model"
+	"dophy/internal/rng"
+)
+
+func TestRoundTrip(t *testing.T) {
+	c := Build([]uint32{50, 30, 15, 5})
+	syms := []int{0, 1, 2, 3, 0, 0, 1, 3, 2, 0}
+	w := bitio.NewWriter()
+	for _, s := range syms {
+		c.Encode(w, s)
+	}
+	r := bitio.NewReader(w.Bytes())
+	for i, want := range syms {
+		got, err := c.Decode(r)
+		if err != nil || got != want {
+			t.Fatalf("decode %d = %d (%v), want %d", i, got, err, want)
+		}
+	}
+}
+
+func TestKraftInequality(t *testing.T) {
+	c := Build([]uint32{907, 50, 25, 10, 5, 2, 1})
+	sum := 0.0
+	for s := 0; s < 7; s++ {
+		sum += math.Pow(2, -float64(c.Length(s)))
+	}
+	if sum > 1+1e-12 {
+		t.Fatalf("Kraft sum = %v > 1: not a prefix code", sum)
+	}
+}
+
+func TestOptimalForDyadic(t *testing.T) {
+	// Dyadic distribution: Huffman achieves entropy exactly.
+	freq := []uint32{8, 4, 2, 1, 1}
+	c := Build(freq)
+	want := []int{1, 2, 3, 4, 4}
+	for s, w := range want {
+		if c.Length(s) != w {
+			t.Fatalf("length(%d) = %d, want %d", s, c.Length(s), w)
+		}
+	}
+}
+
+func TestAtLeastOneBitPerSymbol(t *testing.T) {
+	// The structural disadvantage vs arithmetic coding: even a 99.9%
+	// symbol costs a full bit.
+	c := Build([]uint32{9990, 5, 3, 2})
+	if c.Length(0) != 1 {
+		t.Fatalf("dominant symbol length = %d, want 1", c.Length(0))
+	}
+	counts := []uint64{9990, 5, 3, 2}
+	if got := c.ExpectedLength(counts); got < 1 {
+		t.Fatalf("expected length %v < 1 bit, impossible for a prefix code", got)
+	}
+	h := model.Entropy([]uint32{9990, 5, 3, 2})
+	if h >= 1 {
+		t.Fatalf("test premise broken: entropy %v >= 1", h)
+	}
+}
+
+func TestSingleSymbol(t *testing.T) {
+	c := Build([]uint32{42})
+	if c.Length(0) != 1 {
+		t.Fatalf("unary alphabet length = %d", c.Length(0))
+	}
+	w := bitio.NewWriter()
+	c.Encode(w, 0)
+	r := bitio.NewReader(w.Bytes())
+	if got, err := c.Decode(r); err != nil || got != 0 {
+		t.Fatalf("unary roundtrip = %d, %v", got, err)
+	}
+}
+
+func TestExpectedLengthNearEntropy(t *testing.T) {
+	freq := []uint32{400, 300, 200, 100}
+	c := Build(freq)
+	counts := make([]uint64, len(freq))
+	for i, f := range freq {
+		counts[i] = uint64(f)
+	}
+	el := c.ExpectedLength(counts)
+	h := model.Entropy(freq)
+	if el < h || el > h+1 {
+		t.Fatalf("expected length %v outside [H, H+1) = [%v, %v)", el, h, h+1)
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	a := Build([]uint32{5, 5, 5, 5})
+	b := Build([]uint32{5, 5, 5, 5})
+	for s := 0; s < 4; s++ {
+		if a.Length(s) != b.Length(s) {
+			t.Fatal("nondeterministic code lengths")
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty": func() { Build(nil) },
+		"zero":  func() { Build([]uint32{1, 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: random alphabets and streams roundtrip exactly.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed uint64, alphaRaw, lenRaw uint8) bool {
+		r := rng.New(seed)
+		nsym := int(alphaRaw)%30 + 1
+		freq := make([]uint32, nsym)
+		for i := range freq {
+			freq[i] = uint32(r.Intn(500) + 1)
+		}
+		c := Build(freq)
+		n := int(lenRaw) % 100
+		syms := make([]int, n)
+		w := bitio.NewWriter()
+		for i := range syms {
+			syms[i] = r.Intn(nsym)
+			c.Encode(w, syms[i])
+		}
+		rd := bitio.NewReader(w.Bytes())
+		for _, want := range syms {
+			got, err := c.Decode(rd)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	c := Build([]uint32{900, 60, 25, 10, 5})
+	w := bitio.NewWriter()
+	for i := 0; i < b.N; i++ {
+		c.Encode(w, i%5)
+	}
+}
+
+func TestDecodeRobustOnGarbage(t *testing.T) {
+	c := Build([]uint32{900, 60, 25, 10, 5})
+	r := rng.New(99)
+	for trial := 0; trial < 2000; trial++ {
+		n := r.Intn(16)
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(r.Intn(256))
+		}
+		rd := bitio.NewReader(data)
+		for k := 0; k < 40; k++ {
+			sym, err := c.Decode(rd)
+			if err != nil {
+				break
+			}
+			if sym < 0 || sym > 4 {
+				t.Fatalf("invalid symbol %d from garbage", sym)
+			}
+		}
+	}
+}

@@ -1,0 +1,305 @@
+// Package collect is the data-collection application layer: every node
+// periodically generates a reading and forwards it hop by hop toward the
+// sink over the dynamic routing protocol, using ARQ at each hop.
+//
+// Its product is the stream of PacketJourney records — the per-packet ground
+// truth (who forwarded it, over which links, with how many transmission
+// attempts, whether it arrived). Tomography schemes subscribe to journeys:
+// at each hop they see exactly the information a real in-packet annotation
+// would carry (receiver-observed first-delivery attempt indices), and at the
+// sink they decode and estimate. Keeping the schemes out of the forwarding
+// loop lets several schemes observe the *same* packet realisations, which is
+// how the harness compares them fairly.
+package collect
+
+import (
+	"dophy/internal/mac"
+	"dophy/internal/routing"
+	"dophy/internal/sim"
+	"dophy/internal/topo"
+	"dophy/internal/trace"
+)
+
+// Hop records one completed forwarding step of a packet.
+type Hop struct {
+	Link topo.Link
+	// Attempts is the total number of transmissions the sender made
+	// (ground truth; inflated by lost ACKs).
+	Attempts int
+	// Observed is the attempt index of the first frame the receiver got —
+	// the value an in-packet annotation scheme records for this hop.
+	Observed int
+}
+
+// DropReason says why a packet failed to reach the sink.
+type DropReason int
+
+const (
+	NotDropped  DropReason = iota
+	DropRetries            // ARQ budget exhausted
+	DropNoRoute            // forwarder had no parent
+	DropTTL                // too many hops (transient routing loop)
+	DropQueue              // forwarder's queue overflowed (congestion)
+)
+
+func (d DropReason) String() string {
+	switch d {
+	case NotDropped:
+		return "delivered"
+	case DropRetries:
+		return "retries"
+	case DropNoRoute:
+		return "no-route"
+	case DropTTL:
+		return "ttl"
+	case DropQueue:
+		return "queue"
+	}
+	return "unknown"
+}
+
+// PacketJourney is the full ground-truth record of one data packet.
+type PacketJourney struct {
+	Origin    topo.NodeID
+	Seq       int64
+	Generated sim.Time
+	Completed sim.Time
+	Hops      []Hop
+	Delivered bool
+	Drop      DropReason
+}
+
+// Sink consumers receive every completed journey (delivered or dropped).
+type JourneyFunc func(*PacketJourney)
+
+// Annotator hooks the forwarding path itself: the distributed view, where
+// per-packet state is built hop by hop exactly as mote firmware would.
+// OnGenerate runs at the origin before the first transmission; OnHop runs
+// at each hop's receiver immediately after a successful ARQ exchange (the
+// moment the receiver appends its record); OnDeliver runs when the packet
+// reaches the sink. Dropped packets simply never reach OnDeliver — any
+// per-packet state the annotator holds for them must be reclaimed via
+// OnDrop.
+type Annotator interface {
+	OnGenerate(j *PacketJourney)
+	OnHop(j *PacketJourney, h Hop)
+	OnDeliver(j *PacketJourney)
+	OnDrop(j *PacketJourney)
+}
+
+// Config parameterises the application.
+type Config struct {
+	GenPeriod sim.Time // per-node data generation interval
+	GenJitter float64  // uniform +/- fraction of the period
+	TxTime    sim.Time // time per radio transmission (serialisation + backoff)
+	HopDelay  sim.Time // per-hop processing/queueing delay
+	TTL       int      // max hops before a packet is declared looping
+	// QueueCap bounds each node's forwarding queue: while a node is mid-
+	// transmission further packets wait, and arrivals beyond QueueCap are
+	// dropped (DropQueue). 0 models an unbounded, zero-contention node —
+	// the abstraction most tomography evaluations use.
+	QueueCap int
+}
+
+// DefaultConfig matches typical low-rate collection workloads.
+func DefaultConfig() Config {
+	return Config{GenPeriod: 10, GenJitter: 0.25, TxTime: 0.01, HopDelay: 0.02, TTL: 64}
+}
+
+// Router is the slice of the routing protocol the data plane needs.
+// *routing.Protocol implements it; tests substitute fixed or looping tables.
+type Router interface {
+	Parent(id topo.NodeID) (topo.NodeID, bool)
+	OnDataResult(from, to topo.NodeID, res mac.Result)
+}
+
+var _ Router = (*routing.Protocol)(nil)
+
+// Network wires the layers together for one simulated deployment.
+type Network struct {
+	cfg        Config
+	eng        *sim.Engine
+	tp         *topo.Topology
+	arq        *mac.ARQ
+	proto      Router
+	rec        *trace.Recorder
+	r          jitterSource
+	nextSeq    []int64
+	subs       []JourneyFunc
+	annotators []Annotator
+	started    bool
+	// Per-node forwarding queues (QueueCap > 0 only).
+	busy   []bool
+	queues [][]*PacketJourney
+	// QueueDrops counts congestion losses for reporting.
+	QueueDrops int64
+}
+
+// jitterSource is the tiny slice of rng.Source the network needs; taking an
+// interface keeps the dependency direction clean and tests simple.
+type jitterSource interface {
+	Float64() float64
+	Range(lo, hi float64) float64
+}
+
+// New wires a network. rec may be nil.
+func New(cfg Config, eng *sim.Engine, tp *topo.Topology, arq *mac.ARQ, proto Router, r jitterSource, rec *trace.Recorder) *Network {
+	if cfg.GenPeriod <= 0 {
+		panic("collect: generation period must be positive")
+	}
+	if cfg.TTL < 1 {
+		panic("collect: TTL must be >= 1")
+	}
+	if cfg.QueueCap < 0 {
+		panic("collect: QueueCap must be >= 0")
+	}
+	n := &Network{
+		cfg:     cfg,
+		eng:     eng,
+		tp:      tp,
+		arq:     arq,
+		proto:   proto,
+		rec:     rec,
+		r:       r,
+		nextSeq: make([]int64, tp.N()),
+	}
+	if cfg.QueueCap > 0 {
+		n.busy = make([]bool, tp.N())
+		n.queues = make([][]*PacketJourney, tp.N())
+	}
+	return n
+}
+
+// Subscribe registers fn to receive every completed journey.
+func (n *Network) Subscribe(fn JourneyFunc) { n.subs = append(n.subs, fn) }
+
+// AttachAnnotator registers a hop-by-hop annotator. Call before Start.
+func (n *Network) AttachAnnotator(a Annotator) { n.annotators = append(n.annotators, a) }
+
+// Start schedules the per-node generation processes (sink generates
+// nothing). Call once, after routing.Start.
+func (n *Network) Start() {
+	if n.started {
+		panic("collect: Start called twice")
+	}
+	n.started = true
+	for i := 1; i < n.tp.N(); i++ {
+		id := topo.NodeID(i)
+		first := sim.Time(n.r.Float64()) * n.cfg.GenPeriod
+		n.eng.Schedule(n.eng.Now()+first, func() { n.generate(id) })
+	}
+}
+
+func (n *Network) jitteredPeriod() sim.Time {
+	j := n.cfg.GenJitter
+	return n.cfg.GenPeriod * sim.Time(1+n.r.Range(-j, j))
+}
+
+// generate creates one packet at id and starts forwarding it.
+func (n *Network) generate(id topo.NodeID) {
+	n.nextSeq[id]++
+	j := &PacketJourney{Origin: id, Seq: n.nextSeq[id], Generated: n.eng.Now()}
+	if n.rec != nil {
+		n.rec.Generated++
+	}
+	for _, a := range n.annotators {
+		a.OnGenerate(j)
+	}
+	n.forward(id, j)
+	n.eng.After(n.jitteredPeriod(), func() { n.generate(id) })
+}
+
+// forward admits j to node at: directly when contention is unmodelled or
+// the node is idle, otherwise through the node's bounded queue.
+func (n *Network) forward(at topo.NodeID, j *PacketJourney) {
+	if n.cfg.QueueCap == 0 {
+		n.transmit(at, j)
+		return
+	}
+	if n.busy[at] {
+		if len(n.queues[at]) >= n.cfg.QueueCap {
+			n.QueueDrops++
+			n.finish(j, DropQueue)
+			return
+		}
+		n.queues[at] = append(n.queues[at], j)
+		return
+	}
+	n.busy[at] = true
+	n.transmit(at, j)
+}
+
+// release marks node at idle and starts its next queued packet, if any.
+func (n *Network) release(at topo.NodeID) {
+	if n.cfg.QueueCap == 0 {
+		return
+	}
+	if len(n.queues[at]) > 0 {
+		next := n.queues[at][0]
+		n.queues[at] = n.queues[at][1:]
+		n.transmit(at, next)
+		return
+	}
+	n.busy[at] = false
+}
+
+// transmit performs one hop of j from node at, then schedules the next.
+func (n *Network) transmit(at topo.NodeID, j *PacketJourney) {
+	if len(j.Hops) >= n.cfg.TTL {
+		n.release(at)
+		n.finish(j, DropTTL)
+		return
+	}
+	parent, ok := n.proto.Parent(at)
+	if !ok {
+		n.release(at)
+		n.finish(j, DropNoRoute)
+		return
+	}
+	link := topo.Link{From: at, To: parent}
+	res := n.arq.Send(link, n.eng.Now())
+	n.proto.OnDataResult(at, parent, res)
+	delay := n.cfg.HopDelay + n.cfg.TxTime*sim.Time(res.Attempts)
+	if !res.Delivered {
+		n.eng.After(delay, func() { n.release(at) })
+		n.finish(j, DropRetries)
+		return
+	}
+	hop := Hop{Link: link, Attempts: res.Attempts, Observed: res.FirstDelivered}
+	j.Hops = append(j.Hops, hop)
+	for _, a := range n.annotators {
+		a.OnHop(j, hop)
+	}
+	n.eng.After(delay, func() {
+		n.release(at)
+		if parent == topo.Sink {
+			n.finish(j, NotDropped)
+			return
+		}
+		n.forward(parent, j)
+	})
+}
+
+// finish completes a journey and notifies subscribers.
+func (n *Network) finish(j *PacketJourney, reason DropReason) {
+	j.Completed = n.eng.Now()
+	j.Drop = reason
+	j.Delivered = reason == NotDropped
+	if n.rec != nil {
+		if j.Delivered {
+			n.rec.Delivered++
+		} else {
+			n.rec.Dropped++
+		}
+	}
+	for _, a := range n.annotators {
+		if j.Delivered {
+			a.OnDeliver(j)
+		} else {
+			a.OnDrop(j)
+		}
+	}
+	for _, fn := range n.subs {
+		fn(j)
+	}
+}

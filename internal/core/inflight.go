@@ -1,0 +1,130 @@
+package core
+
+import (
+	"dophy/internal/coding/arith"
+	"dophy/internal/coding/bitio"
+	"dophy/internal/coding/model"
+	"dophy/internal/collect"
+)
+
+// This file implements the *distributed* encoding path: the annotation is
+// built hop by hop inside the packet, exactly as mote firmware would do it.
+// Each in-flight packet carries its completed annotation bytes plus the
+// suspended arithmetic-coder registers (arith.StateBytes of constant
+// overhead); every receiver resumes the coder, appends its two symbols and
+// suspends again; the sink finalises and decodes. The bitstream is provably
+// identical to what the sink-side convenience path (OnJourney) produces —
+// TestDistributedMatchesCentral holds the two against each other — so the
+// evaluation can use whichever is convenient without changing results.
+//
+// Model-version safety: a packet in flight across a model update keeps
+// coding against the models captured at its generation (the sink knows the
+// version from the epoch the packet was sent in). Updates copy-on-write the
+// model references, so capture is O(1) per packet.
+
+// packetAnno is the in-packet annotation state carried hop by hop.
+type packetAnno struct {
+	completed  []byte
+	state      arith.State
+	hasState   bool
+	prefixBits []int
+	countModel *model.Static
+	hopModels  []*model.Static
+}
+
+// Annotator is the distributed front-end of a Dophy engine. Attach it with
+// collect.Network.AttachAnnotator. Use either the Annotator or OnJourney on
+// a given engine, never both (estimates would double-count).
+type Annotator struct {
+	d      *Dophy
+	flight map[*collect.PacketJourney]*packetAnno
+}
+
+// NewAnnotator returns the distributed annotator for d.
+func (d *Dophy) NewAnnotator() *Annotator {
+	return &Annotator{d: d, flight: make(map[*collect.PacketJourney]*packetAnno)}
+}
+
+// InFlight reports how many packets currently carry annotation state.
+func (a *Annotator) InFlight() int { return len(a.flight) }
+
+// OnGenerate implements collect.Annotator: capture the model version this
+// packet will encode against.
+func (a *Annotator) OnGenerate(j *collect.PacketJourney) {
+	a.flight[j] = &packetAnno{
+		countModel: a.d.countModel,
+		hopModels:  a.d.hopModels,
+	}
+}
+
+// OnHop implements collect.Annotator: the receiver resumes the carried
+// coder, appends its hop record and suspends again.
+func (a *Annotator) OnHop(j *collect.PacketJourney, h collect.Hop) {
+	pa := a.flight[j]
+	if pa == nil {
+		return // packet predates this annotator's attachment
+	}
+	var (
+		e *arith.Encoder
+		w *bitio.Writer
+	)
+	if pa.hasState {
+		e, w = arith.Resume(pa.state, pa.completed)
+	} else {
+		w = bitio.NewWriter()
+		e = arith.NewEncoder(w)
+	}
+	e.Encode(pa.hopModels[h.Link.From], neighborIndex(a.d.tp, h.Link.From, h.Link.To))
+	e.Encode(pa.countModel, a.d.agg.Map(h.Observed-1))
+	pa.state = e.Suspend(w)
+	pa.completed = w.Completed()
+	pa.hasState = true
+	pa.prefixBits = append(pa.prefixBits, w.Bits())
+}
+
+// OnDeliver implements collect.Annotator: finalise, decode and accumulate.
+func (a *Annotator) OnDeliver(j *collect.PacketJourney) {
+	pa := a.flight[j]
+	if pa == nil {
+		return
+	}
+	delete(a.flight, j)
+	if !pa.hasState || len(j.Hops) == 0 {
+		return
+	}
+	e, w := arith.Resume(pa.state, pa.completed)
+	e.Finish()
+	data, finalBits := w.Bytes(), w.Bits()
+
+	d := a.d
+	d.overhead.Packets++
+	d.overhead.Hops += int64(len(j.Hops))
+	d.overhead.AnnotationBits += int64(finalBits)
+	d.overhead.HeaderBits += int64(d.originBits)
+	for i, h := range j.Hops {
+		carried := d.originBits
+		if i > 0 {
+			carried += pa.prefixBits[i-1] + arith.StateBytes*8
+			d.overhead.InFlightStateBits += int64(arith.StateBytes * 8 * h.Attempts)
+		}
+		d.overhead.TransmittedBits += int64(carried * h.Attempts)
+	}
+
+	hops, counts, err := d.decodeWith(j.Origin, data, len(j.Hops), pa.countModel, pa.hopModels)
+	if err != nil {
+		d.decodeErrors++
+		return
+	}
+	for i := range hops {
+		if hops[i] != j.Hops[i].Link || counts[i] != d.agg.Map(j.Hops[i].Observed-1) {
+			d.decodeErrors++
+			return
+		}
+	}
+	d.accumulate(hops, counts)
+}
+
+// OnDrop implements collect.Annotator: reclaim in-flight state.
+func (a *Annotator) OnDrop(j *collect.PacketJourney) {
+	delete(a.flight, j)
+}

@@ -1,0 +1,63 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMarginalLinear(t *testing.T) {
+	p := DefaultParams()
+	one := p.MarginalMicroJ(1)
+	ten := p.MarginalMicroJ(10)
+	if math.Abs(ten-10*one) > 1e-12 {
+		t.Fatalf("marginal cost not linear: %v vs %v", ten, 10*one)
+	}
+	if one != p.TxPerByteMicroJ+p.RxPerByteMicroJ {
+		t.Fatalf("per-byte cost = %v", one)
+	}
+}
+
+func TestFrameIncludesOverhead(t *testing.T) {
+	p := DefaultParams()
+	empty := p.FrameMicroJ(0)
+	if empty <= 0 {
+		t.Fatal("empty frame costs nothing")
+	}
+	want := float64(p.PacketOverheadBytes) * p.PerByteMicroJ()
+	if math.Abs(empty-want) > 1e-12 {
+		t.Fatalf("empty frame = %v, want %v", empty, want)
+	}
+	if p.FrameMicroJ(20) <= empty {
+		t.Fatal("payload added no energy")
+	}
+}
+
+func TestCostZeroPackets(t *testing.T) {
+	if r := Cost(DefaultParams(), 1000, 1000, 0); r.TotalMicroJPerPacket != 0 {
+		t.Fatalf("zero-packet cost = %+v", r)
+	}
+}
+
+func TestCostDecomposition(t *testing.T) {
+	p := DefaultParams()
+	r := Cost(p, 8000, 800, 10) // 1000 annotation bytes, 100 dissem bytes, 10 pkts
+	if r.TotalMicroJPerPacket != r.AnnotationMicroJPerPacket+r.DisseminationMicroJPerPacket {
+		t.Fatalf("components do not sum: %+v", r)
+	}
+	wantAnnot := p.MarginalMicroJ(100) // 1000 bytes / 10 packets
+	if math.Abs(r.AnnotationMicroJPerPacket-wantAnnot) > 1e-9 {
+		t.Fatalf("annotation energy = %v, want %v", r.AnnotationMicroJPerPacket, wantAnnot)
+	}
+	if r.DisseminationMicroJPerPacket <= 0 {
+		t.Fatal("dissemination energy missing")
+	}
+}
+
+func TestCostMonotoneInBits(t *testing.T) {
+	p := DefaultParams()
+	small := Cost(p, 1000, 0, 10)
+	large := Cost(p, 5000, 0, 10)
+	if large.TotalMicroJPerPacket <= small.TotalMicroJPerPacket {
+		t.Fatal("more radiated bits did not cost more")
+	}
+}

@@ -1,0 +1,18 @@
+package experiment
+
+import (
+	"time"
+
+	"dophy/internal/sim"
+)
+
+// timeNow is indirected for tests.
+var timeNow = time.Now
+
+// simTimeAlias lets extension experiments write durations without importing
+// the sim package name into expression-heavy code.
+type simTimeAlias = sim.Time
+
+// Duration is the exported name for simulated seconds, for callers outside
+// the internal tree's sim package (examples, tools).
+type Duration = sim.Time

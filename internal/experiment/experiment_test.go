@@ -1,0 +1,278 @@
+package experiment
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dophy/internal/rng"
+	"dophy/internal/topo"
+)
+
+// smallScenario keeps tests fast.
+func smallScenario(seed uint64) Scenario {
+	sc := DefaultScenario()
+	sc.Seed = seed
+	sc.Topo = GridSpec(5)
+	sc.Epochs = 2
+	sc.EpochLen = 200
+	return sc
+}
+
+func TestRunProducesAllSchemes(t *testing.T) {
+	res := Run(smallScenario(1))
+	if len(res.Epochs) != 2 {
+		t.Fatalf("epochs = %d", len(res.Epochs))
+	}
+	want := []string{SchemeDophy, SchemeDophyNA, SchemeRaw, SchemeCompact, SchemeHuffman, SchemeMINC, SchemeLSQ}
+	for _, eo := range res.Epochs {
+		for _, s := range want {
+			if _, ok := eo.Schemes[s]; !ok {
+				t.Fatalf("epoch %d missing scheme %s", eo.Epoch, s)
+			}
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := Run(smallScenario(3))
+	b := Run(smallScenario(3))
+	if a.MeanPacketsPerEpoch != b.MeanPacketsPerEpoch {
+		t.Fatal("packet counts differ across identical runs")
+	}
+	accA := a.MeanAccuracy(SchemeDophy)
+	accB := b.MeanAccuracy(SchemeDophy)
+	if accA.MAE != accB.MAE {
+		t.Fatalf("MAE differs: %v vs %v", accA.MAE, accB.MAE)
+	}
+	if a.MeanBitsPerPacket(SchemeDophy) != b.MeanBitsPerPacket(SchemeDophy) {
+		t.Fatal("overhead differs across identical runs")
+	}
+}
+
+func TestNoDecodeErrors(t *testing.T) {
+	res := Run(smallScenario(5))
+	for _, s := range []string{SchemeDophy, SchemeDophyNA, SchemeRaw, SchemeCompact, SchemeHuffman} {
+		if n := res.DecodeErrorTotal(s); n != 0 {
+			t.Fatalf("%s decode errors: %d", s, n)
+		}
+	}
+}
+
+func TestHeadlineClaims(t *testing.T) {
+	// The paper's two headline results must hold on a default scenario:
+	// (1) Dophy beats the traditional baselines on accuracy by a wide
+	// margin, (2) arithmetic coding beats Huffman beats fixed-width.
+	sc := DefaultScenario()
+	sc.Seed = 11
+	sc.Epochs = 2
+	res := Run(sc)
+	dophy := res.MeanAccuracy(SchemeDophy).MAE
+	minc := res.MeanAccuracy(SchemeMINC).MAE
+	lsq := res.MeanAccuracy(SchemeLSQ).MAE
+	if !(dophy < minc/2 && dophy < lsq/2) {
+		t.Fatalf("accuracy claim failed: dophy=%.4f minc=%.4f lsq=%.4f", dophy, minc, lsq)
+	}
+	d := res.MeanBitsPerPacket(SchemeDophy)
+	h := res.MeanBitsPerPacket(SchemeHuffman)
+	c := res.MeanBitsPerPacket(SchemeCompact)
+	r := res.MeanBitsPerPacket(SchemeRaw)
+	if !(d < h && h < c && c < r) {
+		t.Fatalf("overhead ladder failed: dophy=%.1f huffman=%.1f compact=%.1f raw=%.1f", d, h, c, r)
+	}
+}
+
+func TestAggregationSavesBits(t *testing.T) {
+	res := Run(smallScenario(7))
+	agg := res.MeanBitsPerPacket(SchemeDophy)
+	noagg := res.MeanBitsPerPacket(SchemeDophyNA)
+	if agg >= noagg {
+		t.Fatalf("aggregation did not save bits: %.2f vs %.2f", agg, noagg)
+	}
+}
+
+func TestScoreAgainstTruth(t *testing.T) {
+	res := Run(smallScenario(9))
+	eo := res.Epochs[0]
+	acc := Score(eo.Schemes[SchemeDophy], eo.Truth, res.Scenario.MinTruthAttempts)
+	if acc.Links == 0 {
+		t.Fatal("nothing scored")
+	}
+	if acc.MAE < 0 || acc.MAE > 1 || math.IsNaN(acc.MAE) {
+		t.Fatalf("MAE = %v", acc.MAE)
+	}
+	if acc.Coverage <= 0 || acc.Coverage > 1 {
+		t.Fatalf("coverage = %v", acc.Coverage)
+	}
+	if len(acc.Errors) != acc.Links {
+		t.Fatalf("errors len %d != links %d", len(acc.Errors), acc.Links)
+	}
+}
+
+func TestScoreEmptyScheme(t *testing.T) {
+	res := Run(smallScenario(13))
+	empty := &SchemeEpoch{Name: "none", Loss: map[topo.Link]float64{}}
+	acc := Score(empty, res.Epochs[0].Truth, 10)
+	if !math.IsNaN(acc.MAE) || acc.Links != 0 {
+		t.Fatalf("empty scheme score = %+v", acc)
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tab := &Table{
+		ID:      "X",
+		Title:   "test",
+		Columns: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"note"},
+	}
+	out := tab.Format()
+	if !strings.Contains(out, "== X: test ==") || !strings.Contains(out, "333") || !strings.Contains(out, "# note") {
+		t.Fatalf("format output:\n%s", out)
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "a,bb\n1,2\n") {
+		t.Fatalf("csv output:\n%s", csv)
+	}
+}
+
+func TestTopoSpecBuilders(t *testing.T) {
+	specs := []TopoSpec{
+		GridSpec(4),
+		{Kind: TopoUniform, N: 20, Width: 60, Height: 60, Range: 25},
+		{Kind: TopoCorridor, N: 20, Width: 100, Height: 10, Range: 25},
+		{Kind: TopoChain, N: 5, Spacing: 10, Range: 11},
+	}
+	wantN := []int{16, 20, 20, 5}
+	for i, ts := range specs {
+		tp := ts.Build(rng.New(uint64(20 + i)))
+		if tp.N() != wantN[i] {
+			t.Fatalf("spec %d built %d nodes, want %d", i, tp.N(), wantN[i])
+		}
+	}
+}
+
+func TestRegistryRunsDistinctIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range All() {
+		if seen[r.ID] {
+			t.Fatalf("duplicate experiment id %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Run == nil || r.Title == "" {
+			t.Fatalf("incomplete registry entry %+v", r.ID)
+		}
+	}
+	if len(seen) != 21 {
+		t.Fatalf("registry has %d entries, want 21", len(seen))
+	}
+}
+
+func TestF6ValidationHolds(t *testing.T) {
+	// The simulator-validation experiment must agree with the analytic
+	// formulas to within sampling noise.
+	tab := F6(31)
+	for _, row := range tab.Rows {
+		var meas, ana float64
+		if _, err := sscan(row[1], &meas); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sscan(row[2], &ana); err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(meas-ana) > 0.02 {
+			t.Fatalf("delivery mismatch: %v vs %v", meas, ana)
+		}
+		if _, err := sscan(row[3], &meas); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sscan(row[4], &ana); err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(meas-ana) > 0.1 {
+			t.Fatalf("mean attempts mismatch: %v vs %v", meas, ana)
+		}
+	}
+}
+
+func sscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}
+
+// TestAllExperimentsProduceSaneTables runs the entire registry end to end
+// (the same code paths as cmd/dophy-bench) and sanity-checks every table.
+// It is the heavyweight integration test of the repository (~15s); skip it
+// with -short.
+func TestAllExperimentsProduceSaneTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep skipped in -short mode")
+	}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tab := r.Run(97)
+			if tab.ID != r.ID {
+				t.Fatalf("table id %q != registry id %q", tab.ID, r.ID)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("experiment produced no rows")
+			}
+			if len(tab.Columns) == 0 {
+				t.Fatal("experiment produced no columns")
+			}
+			for i, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Fatalf("row %d has %d cells for %d columns", i, len(row), len(tab.Columns))
+				}
+				for j, cell := range row {
+					if cell == "" || strings.Contains(cell, "NaN") {
+						t.Fatalf("row %d col %s is %q", i, tab.Columns[j], cell)
+					}
+				}
+			}
+			// Formatting must not lose content.
+			out := tab.Format()
+			if !strings.Contains(out, tab.ID) {
+				t.Fatal("format lost the table id")
+			}
+		})
+	}
+}
+
+// Golden regression: every experiment's full output is pinned. Because the
+// whole stack is deterministic, any diff means behaviour changed — rerun
+// with -update-golden to accept intentional changes.
+var updateGolden = flag.Bool("update-golden", false, "rewrite experiment golden files")
+
+func TestExperimentGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep skipped in -short mode")
+	}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			if r.ID == "T4" {
+				t.Skip("T4 reports wall-clock timings; not reproducible")
+			}
+			got := r.Run(97).Format()
+			path := filepath.Join("testdata", "golden", r.ID+".txt")
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update-golden): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("output drifted from golden %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}

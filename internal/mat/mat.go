@@ -1,0 +1,213 @@
+// Package mat is a small dense linear-algebra kit: exactly the operations
+// the least-squares tomography baseline needs (normal equations with ridge
+// regularisation, Cholesky solve, and projected-gradient non-negative least
+// squares), implemented from scratch on float64 slices.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	Rows, Cols int
+	data       []float64
+}
+
+// NewDense allocates a zero matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic("mat: negative dimensions")
+	}
+	return &Dense{Rows: rows, Cols: cols, data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.Cols+j] = v }
+
+// Add increments element (i, j).
+func (m *Dense) Add(i, j int, v float64) { m.data[i*m.Cols+j] += v }
+
+// MulVec returns A*x.
+func (m *Dense) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("mat: MulVec dimension mismatch %d vs %d", len(x), m.Cols))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, a := range row {
+			s += a * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TMulVec returns A^T * y.
+func (m *Dense) TMulVec(y []float64) []float64 {
+	if len(y) != m.Rows {
+		panic(fmt.Sprintf("mat: TMulVec dimension mismatch %d vs %d", len(y), m.Rows))
+	}
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.data[i*m.Cols : (i+1)*m.Cols]
+		yi := y[i]
+		if yi == 0 {
+			continue
+		}
+		for j, a := range row {
+			out[j] += a * yi
+		}
+	}
+	return out
+}
+
+// Gram returns A^T A (Cols x Cols, symmetric positive semidefinite).
+func (m *Dense) Gram() *Dense {
+	g := NewDense(m.Cols, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.data[i*m.Cols : (i+1)*m.Cols]
+		for a := 0; a < m.Cols; a++ {
+			ra := row[a]
+			if ra == 0 {
+				continue
+			}
+			for b := a; b < m.Cols; b++ {
+				g.data[a*m.Cols+b] += ra * row[b]
+			}
+		}
+	}
+	// Mirror the upper triangle.
+	for a := 0; a < m.Cols; a++ {
+		for b := a + 1; b < m.Cols; b++ {
+			g.data[b*m.Cols+a] = g.data[a*m.Cols+b]
+		}
+	}
+	return g
+}
+
+// ErrNotSPD reports a Cholesky failure (matrix not positive definite).
+var ErrNotSPD = errors.New("mat: matrix not symmetric positive definite")
+
+// SolveSPD solves A x = b for symmetric positive-definite A by Cholesky
+// decomposition. A is not modified.
+func SolveSPD(a *Dense, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		panic("mat: SolveSPD dimension mismatch")
+	}
+	// L lower-triangular with A = L L^T.
+	l := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l[i*n+k] * l[j*n+k]
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, ErrNotSPD
+				}
+				l[i*n+i] = math.Sqrt(sum)
+			} else {
+				l[i*n+j] = sum / l[j*n+j]
+			}
+		}
+	}
+	// Forward solve L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i*n+k] * y[k]
+		}
+		y[i] = sum / l[i*n+i]
+	}
+	// Back solve L^T x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k*n+i] * x[k]
+		}
+		x[i] = sum / l[i*n+i]
+	}
+	return x, nil
+}
+
+// RidgeLeastSquares solves min ||A x - b||^2 + ridge ||x||^2 via the normal
+// equations. ridge > 0 guarantees solvability even for rank-deficient A.
+func RidgeLeastSquares(a *Dense, b []float64, ridge float64) ([]float64, error) {
+	if ridge <= 0 {
+		return nil, errors.New("mat: ridge must be positive")
+	}
+	g := a.Gram()
+	for i := 0; i < g.Rows; i++ {
+		g.Add(i, i, ridge)
+	}
+	return SolveSPD(g, a.TMulVec(b))
+}
+
+// NNLS solves min ||A x - b||^2 subject to x >= 0 by projected gradient
+// descent with a step from the Gram matrix's row-sum bound. It converges
+// linearly and is robust on the small ill-conditioned systems tomography
+// produces. iters bounds the work; tol stops early on stagnation.
+func NNLS(a *Dense, b []float64, iters int, tol float64) []float64 {
+	g := a.Gram()
+	// Lipschitz bound: max row sum of |G| >= spectral norm.
+	lip := 0.0
+	for i := 0; i < g.Rows; i++ {
+		s := 0.0
+		for j := 0; j < g.Cols; j++ {
+			s += math.Abs(g.At(i, j))
+		}
+		if s > lip {
+			lip = s
+		}
+	}
+	x := make([]float64, a.Cols)
+	if lip == 0 {
+		return x // A is zero: x = 0 is optimal
+	}
+	step := 1 / lip
+	atb := a.TMulVec(b)
+	for it := 0; it < iters; it++ {
+		// grad = G x - A^T b
+		grad := g.MulVec(x)
+		moved := 0.0
+		for j := range x {
+			nx := x[j] - step*(grad[j]-atb[j])
+			if nx < 0 {
+				nx = 0
+			}
+			moved += math.Abs(nx - x[j])
+			x[j] = nx
+		}
+		if moved < tol {
+			break
+		}
+	}
+	return x
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: Dot length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm.
+func Norm2(a []float64) float64 { return math.Sqrt(Dot(a, a)) }

@@ -1,0 +1,128 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"dophy/internal/rng"
+	"dophy/internal/sim"
+	"dophy/internal/topo"
+)
+
+func TestNodeFailuresSinkNeverDown(t *testing.T) {
+	tp := topo.Grid(3, 10, 0, 15, rng.New(1))
+	inner := NewStaticUniformLoss(tp, 0)
+	m := NewNodeFailures(inner, tp.N(), 50, 20, 3)
+	for now := sim.Time(0); now < 5000; now += 7 {
+		if m.Down(topo.Sink, now) {
+			t.Fatal("sink failed")
+		}
+	}
+}
+
+func TestNodeFailuresZeroPRRWhileDown(t *testing.T) {
+	tp := topo.Grid(3, 10, 0, 15, rng.New(2))
+	inner := NewStaticUniformLoss(tp, 0)
+	m := NewNodeFailures(inner, tp.N(), 30, 30, 5)
+	l := topo.Link{From: 4, To: 5}
+	sawDownZero, sawUpFull := false, false
+	for now := sim.Time(0); now < 3000; now += 1 {
+		p := m.PRR(l, now)
+		downEither := m.Down(4, now) || m.Down(5, now)
+		if downEither {
+			if p != 0 {
+				t.Fatalf("PRR %v while endpoint down at %v", p, now)
+			}
+			sawDownZero = true
+		} else {
+			if p != 1 {
+				t.Fatalf("PRR %v while both up at %v", p, now)
+			}
+			sawUpFull = true
+		}
+	}
+	if !sawDownZero || !sawUpFull {
+		t.Fatalf("states not both exercised: down=%v up=%v", sawDownZero, sawUpFull)
+	}
+}
+
+func TestNodeFailuresAvailability(t *testing.T) {
+	tp := topo.Grid(4, 10, 0, 15, rng.New(3))
+	inner := NewStaticUniformLoss(tp, 0)
+	// MTBF 80, MTTR 20 => availability ~0.8.
+	m := NewNodeFailures(inner, tp.N(), 80, 20, 7)
+	downTime, total := 0.0, 0.0
+	node := topo.NodeID(5)
+	const dt = 0.5
+	for now := sim.Time(0); now < 50000; now += dt {
+		if m.Down(node, now) {
+			downTime += dt
+		}
+		total += dt
+	}
+	frac := downTime / total
+	if math.Abs(frac-0.2) > 0.04 {
+		t.Fatalf("down fraction = %v, want ~0.2", frac)
+	}
+}
+
+func TestNodeFailuresDownCount(t *testing.T) {
+	tp := topo.Grid(4, 10, 0, 15, rng.New(4))
+	inner := NewStaticUniformLoss(tp, 0)
+	m := NewNodeFailures(inner, tp.N(), 10, 10, 9)
+	sawSome := false
+	for now := sim.Time(0); now < 500; now += 5 {
+		n := m.DownCount(now)
+		if n < 0 || n > tp.N()-1 {
+			t.Fatalf("down count %d out of range", n)
+		}
+		if n > 0 {
+			sawSome = true
+		}
+	}
+	if !sawSome {
+		t.Fatal("no failures in 500s with MTBF 10")
+	}
+}
+
+func TestNodeFailuresDeterministic(t *testing.T) {
+	tp := topo.Grid(3, 10, 0, 15, rng.New(5))
+	inner := NewStaticUniformLoss(tp, 0)
+	a := NewNodeFailures(inner, tp.N(), 40, 15, 11)
+	b := NewNodeFailures(inner, tp.N(), 40, 15, 11)
+	for now := sim.Time(0); now < 2000; now += 3 {
+		for i := 0; i < tp.N(); i++ {
+			if a.Down(topo.NodeID(i), now) != b.Down(topo.NodeID(i), now) {
+				t.Fatalf("failure schedules diverged at node %d time %v", i, now)
+			}
+		}
+	}
+}
+
+func TestNodeFailuresValidation(t *testing.T) {
+	tp := topo.Grid(2, 10, 0, 15, rng.New(6))
+	inner := NewStaticUniformLoss(tp, 0)
+	for name, fn := range map[string]func(){
+		"zero mtbf": func() { NewNodeFailures(inner, 4, 0, 1, 1) },
+		"zero mttr": func() { NewNodeFailures(inner, 4, 1, 0, 1) },
+		"no nodes":  func() { NewNodeFailures(inner, 0, 1, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNodeFailuresOutOfRangeNode(t *testing.T) {
+	tp := topo.Grid(2, 10, 0, 15, rng.New(7))
+	inner := NewStaticUniformLoss(tp, 0)
+	m := NewNodeFailures(inner, tp.N(), 10, 10, 1)
+	if m.Down(topo.NodeID(1000), 50) {
+		t.Fatal("out-of-range node reported down")
+	}
+}

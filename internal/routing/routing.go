@@ -1,0 +1,435 @@
+// Package routing implements a CTP-like dynamic collection protocol: every
+// node continuously selects a forwarding parent towards the sink by
+// minimising path ETX (expected transmissions), re-evaluating as link
+// estimates and neighbour advertisements change. This is the "dynamic WSN"
+// substrate the paper targets — forwarding paths shift over time, which is
+// precisely what breaks static-path loss tomography.
+//
+// Mechanisms, mirroring TinyOS CTP at the level that matters here:
+//
+//   - Periodic jittered beacons carry the sender's advertised path ETX.
+//   - Receivers estimate in-bound beacon reception ratios over a sequence
+//     window and seed link-ETX estimates from them.
+//   - Data transmissions feed back precise out-bound ETX samples (attempt
+//     counts from the ARQ layer), blended by EWMA; failed exchanges
+//     contribute a penalty sample.
+//   - Parent selection minimises advertised ETX + link ETX with switching
+//     hysteresis; data-plane TTL catches transient loops from stale state.
+//
+// An optional RandomizeParentProb knob re-picks a random admissible parent
+// at beacon time, giving experiments a direct, radio-independent control
+// over path dynamics (the F3 axis in DESIGN.md).
+package routing
+
+import (
+	"math"
+
+	"dophy/internal/mac"
+	"dophy/internal/radio"
+	"dophy/internal/rng"
+	"dophy/internal/sim"
+	"dophy/internal/topo"
+	"dophy/internal/trace"
+)
+
+// NoParent marks a node that has not yet acquired a route.
+const NoParent topo.NodeID = -1
+
+// Config tunes the protocol.
+type Config struct {
+	BeaconPeriod sim.Time // mean interval between beacons per node
+	BeaconJitter float64  // uniform +/- fraction of the period
+	Window       int      // expected beacons per reception-ratio sample
+	AlphaBeacon  float64  // EWMA weight of beacon-derived ETX samples
+	AlphaData    float64  // EWMA weight of data-derived ETX samples
+	Hysteresis   float64  // ETX improvement required to switch parent
+	MaxETXSample float64  // cap for penalty / low-ratio samples
+	// RandomizeParentProb is the probability, evaluated at each beacon a
+	// node sends, that it re-selects a parent uniformly among admissible
+	// candidates instead of the best one. 0 disables forced churn.
+	RandomizeParentProb float64
+	// AdaptiveBeacon enables Trickle-style beacon pacing: each node's
+	// interval starts at BeaconMin, doubles while its route is stable (up
+	// to BeaconMax) and resets to BeaconMin when its parent changes or its
+	// path metric moves by more than TrickleReset. Cuts control overhead
+	// dramatically in stable networks while staying responsive to change.
+	AdaptiveBeacon bool
+	BeaconMin      sim.Time
+	BeaconMax      sim.Time
+	TrickleReset   float64 // path-ETX delta that resets the interval
+}
+
+// DefaultConfig returns settings that behave like a well-tuned collection
+// protocol at simulation time scales.
+func DefaultConfig() Config {
+	return Config{
+		BeaconPeriod: 10,
+		BeaconJitter: 0.25,
+		Window:       5,
+		AlphaBeacon:  0.3,
+		AlphaData:    0.25,
+		Hysteresis:   0.5,
+		MaxETXSample: 16,
+	}
+}
+
+// neighborInfo is what a node knows about one neighbour.
+type neighborInfo struct {
+	advertisedETX float64 // path ETX from the neighbour's last beacon
+	heard         bool    // at least one beacon received
+	linkETX       float64 // EWMA out-bound ETX estimate
+	hasLinkETX    bool
+	lastSeq       int64 // last beacon sequence received
+	expected      int   // beacons expected since window start
+	received      int   // beacons received since window start
+}
+
+// nodeState is the per-node protocol state.
+type nodeState struct {
+	id        topo.NodeID
+	parent    topo.NodeID
+	pathETX   float64 // own advertised metric
+	beaconSeq int64
+	neighbors map[topo.NodeID]*neighborInfo
+	// Trickle state (AdaptiveBeacon only).
+	interval   sim.Time
+	lastAdvETX float64 // advertised metric at the last beacon
+	trickleHot bool    // reset requested since last beacon
+}
+
+// Protocol runs collection routing for one network.
+type Protocol struct {
+	cfg     Config
+	eng     *sim.Engine
+	tp      *topo.Topology
+	model   radio.Model
+	r       *rng.Source
+	rec     *trace.Recorder
+	nodes   []*nodeState
+	started bool
+	pending map[topo.NodeID]*sim.Event // extra beacons queued by scheduleNow
+
+	BeaconsSent int64 // total beacon transmissions (protocol overhead)
+}
+
+// New builds the protocol. rec may be nil.
+func New(cfg Config, eng *sim.Engine, tp *topo.Topology, model radio.Model, r *rng.Source, rec *trace.Recorder) *Protocol {
+	if cfg.BeaconPeriod <= 0 {
+		panic("routing: beacon period must be positive")
+	}
+	if cfg.Window < 1 {
+		panic("routing: window must be >= 1")
+	}
+	if cfg.AdaptiveBeacon {
+		if cfg.BeaconMin <= 0 || cfg.BeaconMax < cfg.BeaconMin {
+			panic("routing: adaptive beacon needs 0 < BeaconMin <= BeaconMax")
+		}
+	}
+	p := &Protocol{cfg: cfg, eng: eng, tp: tp, model: model, r: r, rec: rec,
+		pending: make(map[topo.NodeID]*sim.Event)}
+	p.nodes = make([]*nodeState, tp.N())
+	for i := range p.nodes {
+		ns := &nodeState{
+			id:         topo.NodeID(i),
+			parent:     NoParent,
+			pathETX:    math.Inf(1),
+			lastAdvETX: math.Inf(1),
+			neighbors:  make(map[topo.NodeID]*neighborInfo),
+		}
+		for _, nb := range tp.Neighbors(topo.NodeID(i)) {
+			ns.neighbors[nb] = &neighborInfo{}
+		}
+		p.nodes[i] = ns
+	}
+	p.nodes[topo.Sink].pathETX = 0
+	return p
+}
+
+// Start schedules the per-node beacon processes. Call once.
+func (p *Protocol) Start() {
+	if p.started {
+		panic("routing: Start called twice")
+	}
+	p.started = true
+	for i := range p.nodes {
+		id := topo.NodeID(i)
+		firstPeriod := p.cfg.BeaconPeriod
+		if p.cfg.AdaptiveBeacon {
+			p.nodes[i].interval = p.cfg.BeaconMin
+			firstPeriod = p.cfg.BeaconMin
+		}
+		// Desynchronise first beacons across the period.
+		first := sim.Time(p.r.Float64()) * firstPeriod
+		p.eng.Schedule(p.eng.Now()+first, func() { p.beacon(id) })
+	}
+}
+
+// jitteredPeriod returns the next beacon delay for ns, advancing its
+// Trickle interval when adaptive beaconing is on.
+func (p *Protocol) jitteredPeriod(ns *nodeState) sim.Time {
+	j := p.cfg.BeaconJitter
+	base := p.cfg.BeaconPeriod
+	if p.cfg.AdaptiveBeacon {
+		if ns.trickleHot {
+			ns.interval = p.cfg.BeaconMin
+			ns.trickleHot = false
+		} else {
+			ns.interval *= 2
+			if ns.interval > p.cfg.BeaconMax {
+				ns.interval = p.cfg.BeaconMax
+			}
+		}
+		base = ns.interval
+	}
+	return base * sim.Time(1+p.r.Range(-j, j))
+}
+
+// trickleReset asks for ns's beacon interval to snap back to BeaconMin at
+// its next scheduling decision (route state changed).
+func (p *Protocol) trickleReset(ns *nodeState) {
+	if p.cfg.AdaptiveBeacon {
+		ns.trickleHot = true
+	}
+}
+
+// beacon transmits one beacon from id and reschedules.
+func (p *Protocol) beacon(id topo.NodeID) {
+	ns := p.nodes[id]
+	p.beaconOnce(id)
+	// Forced churn knob: occasionally re-pick among admissible parents.
+	if p.cfg.RandomizeParentProb > 0 && id != topo.Sink && p.r.Bool(p.cfg.RandomizeParentProb) {
+		p.randomizeParent(id)
+	}
+	// Trickle: a metric that moved since the last beacon re-arms fast
+	// beaconing so neighbours learn promptly.
+	if p.cfg.AdaptiveBeacon {
+		delta := ns.pathETX - ns.lastAdvETX
+		if delta < 0 {
+			delta = -delta
+		}
+		if delta > p.cfg.TrickleReset && !math.IsInf(ns.lastAdvETX, 1) {
+			ns.trickleHot = true
+		}
+		ns.lastAdvETX = ns.pathETX
+	}
+	p.eng.After(p.jitteredPeriod(ns), func() { p.beacon(id) })
+}
+
+// receiveBeacon processes a beacon from neighbour 'from' at node 'at'.
+func (p *Protocol) receiveBeacon(at, from topo.NodeID, seq int64, advertisedETX float64) {
+	ns := p.nodes[at]
+	info := ns.neighbors[from]
+	if info == nil {
+		return // not a neighbour per topology (cannot happen via beacon())
+	}
+	info.advertisedETX = advertisedETX
+	info.heard = true
+	if info.lastSeq == 0 {
+		info.expected++
+	} else {
+		gap := int(seq - info.lastSeq)
+		if gap < 1 {
+			gap = 1
+		}
+		info.expected += gap
+	}
+	info.lastSeq = seq
+	info.received++
+	if info.expected >= p.cfg.Window {
+		ratio := float64(info.received) / float64(info.expected)
+		sample := p.cfg.MaxETXSample
+		if ratio > 0 {
+			sample = math.Min(1/ratio, p.cfg.MaxETXSample)
+		}
+		p.updateLinkETX(info, sample, p.cfg.AlphaBeacon)
+		info.expected, info.received = 0, 0
+	}
+	if at != topo.Sink {
+		p.selectParent(at)
+	}
+}
+
+func (p *Protocol) updateLinkETX(info *neighborInfo, sample, alpha float64) {
+	if !info.hasLinkETX {
+		info.linkETX = sample
+		info.hasLinkETX = true
+		return
+	}
+	info.linkETX = (1-alpha)*info.linkETX + alpha*sample
+}
+
+// OnDataResult feeds an ARQ outcome back into the sender's link estimator.
+func (p *Protocol) OnDataResult(from, to topo.NodeID, res mac.Result) {
+	ns := p.nodes[from]
+	info := ns.neighbors[to]
+	if info == nil {
+		return
+	}
+	sample := float64(res.Attempts)
+	if !res.Delivered {
+		sample = p.cfg.MaxETXSample
+		// Data-path trouble: re-arm fast beaconing (CTP's pull behaviour)
+		// so the neighbourhood resynchronises its advertisements quickly.
+		p.trickleReset(ns)
+		if ev := p.pending[from]; ev == nil || ev.Cancelled() {
+			p.scheduleNow(from)
+		}
+	}
+	p.updateLinkETX(info, sample, p.cfg.AlphaData)
+	if from != topo.Sink {
+		p.selectParent(from)
+	}
+}
+
+// scheduleNow queues an immediate extra beacon for id (at most one pending
+// at a time) so route changes propagate without waiting a full interval.
+func (p *Protocol) scheduleNow(id topo.NodeID) {
+	if !p.cfg.AdaptiveBeacon || !p.started {
+		return
+	}
+	ev := p.eng.After(p.cfg.BeaconMin*sim.Time(0.25*(1+p.r.Float64())), func() {
+		p.pending[id] = nil
+		p.beaconOnce(id)
+	})
+	p.pending[id] = ev
+}
+
+// beaconOnce transmits a beacon without touching the periodic schedule.
+func (p *Protocol) beaconOnce(id topo.NodeID) {
+	ns := p.nodes[id]
+	ns.beaconSeq++
+	p.BeaconsSent++
+	now := p.eng.Now()
+	adv := ns.pathETX
+	for _, nb := range p.tp.Neighbors(id) {
+		l := topo.Link{From: id, To: nb}
+		received := p.r.Bool(p.model.PRR(l, now))
+		if p.rec != nil {
+			p.rec.Beacon(l, received)
+		}
+		if received {
+			p.receiveBeacon(nb, id, ns.beaconSeq, adv)
+		}
+	}
+}
+
+// metric returns the routing metric of candidate nb as seen from ns, and
+// whether nb is admissible.
+func (p *Protocol) metric(ns *nodeState, nb topo.NodeID, info *neighborInfo) (float64, bool) {
+	if !info.heard {
+		return 0, false
+	}
+	if math.IsInf(info.advertisedETX, 1) {
+		return 0, false // neighbour has no route itself
+	}
+	link := info.linkETX
+	if !info.hasLinkETX {
+		// No estimate yet: optimistic default so bootstrap can proceed.
+		link = 1
+	}
+	return info.advertisedETX + link, true
+}
+
+// selectParent re-evaluates ns's parent with hysteresis.
+func (p *Protocol) selectParent(id topo.NodeID) {
+	ns := p.nodes[id]
+	bestID := NoParent
+	best := math.Inf(1)
+	for nb, info := range ns.neighbors {
+		m, ok := p.metric(ns, nb, info)
+		if !ok {
+			continue
+		}
+		// Gradient constraint: never choose a parent whose own advertised
+		// metric is not strictly below ours would deadlock bootstrap (our
+		// metric starts at +inf), so constrain against the candidate metric
+		// instead: the chosen path metric must improve on the neighbour's
+		// advertisement by at least the link cost, which holds by
+		// construction; stale-state loops are caught by the data-plane TTL.
+		if m < best || (m == best && (bestID == NoParent || nb < bestID)) {
+			best = m
+			bestID = nb
+		}
+	}
+	if bestID == NoParent {
+		return
+	}
+	cur := ns.parent
+	if cur != NoParent {
+		curInfo := ns.neighbors[cur]
+		if curM, ok := p.metric(ns, cur, curInfo); ok {
+			// Keep the current parent unless the best is clearly better.
+			if bestID != cur && best > curM-p.cfg.Hysteresis {
+				bestID = cur
+				best = curM
+			}
+		}
+	}
+	p.adoptParent(ns, bestID, best)
+}
+
+// randomizeParent picks a uniformly random admissible candidate.
+func (p *Protocol) randomizeParent(id topo.NodeID) {
+	ns := p.nodes[id]
+	var cands []topo.NodeID
+	var metrics []float64
+	for nb, info := range ns.neighbors {
+		if m, ok := p.metric(ns, nb, info); ok && m < p.cfg.MaxETXSample*4 {
+			cands = append(cands, nb)
+			metrics = append(metrics, m)
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	// Deterministic candidate order regardless of map iteration.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j] < cands[j-1]; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+			metrics[j], metrics[j-1] = metrics[j-1], metrics[j]
+		}
+	}
+	k := p.r.Intn(len(cands))
+	p.adoptParent(ns, cands[k], metrics[k])
+}
+
+func (p *Protocol) adoptParent(ns *nodeState, parent topo.NodeID, metric float64) {
+	if ns.parent != parent {
+		if ns.parent != NoParent && p.rec != nil {
+			p.rec.ParentChanges++
+		}
+		ns.parent = parent
+		p.trickleReset(ns)
+	}
+	ns.pathETX = metric
+}
+
+// Parent returns id's current forwarding parent.
+func (p *Protocol) Parent(id topo.NodeID) (topo.NodeID, bool) {
+	pa := p.nodes[id].parent
+	return pa, pa != NoParent
+}
+
+// PathETX returns id's advertised path metric (inf before bootstrap).
+func (p *Protocol) PathETX(id topo.NodeID) float64 { return p.nodes[id].pathETX }
+
+// CurrentTree snapshots every node's parent (NoParent where unset). Index 0
+// is the sink. Static-tree tomography baselines consume this.
+func (p *Protocol) CurrentTree() []topo.NodeID {
+	out := make([]topo.NodeID, len(p.nodes))
+	for i, ns := range p.nodes {
+		out[i] = ns.parent
+	}
+	return out
+}
+
+// Routed reports how many nodes (excluding the sink) currently have parents.
+func (p *Protocol) Routed() int {
+	n := 0
+	for i, ns := range p.nodes {
+		if i != int(topo.Sink) && ns.parent != NoParent {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,193 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine is deliberately minimal: a virtual clock, a binary-heap event
+// queue with stable FIFO tie-breaking at equal timestamps, and cancellable
+// timers. All higher layers (radio, MAC, routing, collection) schedule work
+// exclusively through an *Engine, so a whole network run is a single
+// sequential event loop — reproducible for a given seed and immune to data
+// races by construction.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is virtual simulation time in seconds.
+type Time float64
+
+// Handler is a unit of scheduled work. It runs at its scheduled time with
+// the engine's clock already advanced.
+type Handler func()
+
+// Event is a scheduled handler. Exported fields are read-only for callers;
+// use Engine.Cancel to revoke one.
+type Event struct {
+	at      Time
+	seq     uint64 // FIFO tie-break among equal timestamps
+	fn      Handler
+	index   int // heap index, -1 once popped or cancelled
+	cancel  bool
+	engine  *Engine
+	comment string
+}
+
+// At returns the event's scheduled time.
+func (e *Event) At() Time { return e.at }
+
+// Cancelled reports whether the event has been cancelled.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine owns the virtual clock and event queue.
+type Engine struct {
+	now       Time
+	seq       uint64
+	queue     eventHeap
+	processed uint64
+	stopped   bool
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events still queued (including cancelled
+// ones not yet reaped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn at absolute time at. Scheduling in the past (before Now)
+// panics: it is always a logic bug upstream, never a recoverable condition.
+func (e *Engine) Schedule(at Time, fn Handler) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule with nil handler")
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn, engine: e}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After runs fn after delay d from the current time.
+func (e *Engine) After(d Time, fn Handler) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Cancel marks an event so it will be skipped when it reaches the head of
+// the queue. Cancelling an already-fired or already-cancelled event is a
+// no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.engine != e {
+		return
+	}
+	ev.cancel = true
+}
+
+// Stop halts the run loop after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Run executes events until the queue drains, Stop is called, or the clock
+// would pass until (exclusive upper bound; use math.Inf(1) for "no limit").
+// It returns the time at which it stopped.
+func (e *Engine) Run(until Time) Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > until {
+			// Leave the event queued; advance clock to the horizon so
+			// successive Run calls observe monotone time.
+			e.now = until
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		if next.cancel {
+			continue
+		}
+		e.now = next.at
+		e.processed++
+		next.fn()
+	}
+	return e.now
+}
+
+// RunAll executes events until the queue drains or Stop is called.
+func (e *Engine) RunAll() Time {
+	return e.Run(Time(math.Inf(1)))
+}
+
+// Ticker repeatedly schedules fn every period, starting at the current time
+// plus phase. It returns a stop function. fn receives the tick index,
+// starting at 0. A non-positive period panics.
+func (e *Engine) Ticker(phase, period Time, fn func(tick int)) (stop func()) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: ticker period %v must be positive", period))
+	}
+	stopped := false
+	tick := 0
+	var schedule func()
+	schedule = func() {
+		e.After(phaseOrPeriod(tick, phase, period), func() {
+			if stopped {
+				return
+			}
+			i := tick
+			tick++
+			schedule()
+			fn(i)
+		})
+	}
+	schedule()
+	return func() { stopped = true }
+}
+
+func phaseOrPeriod(tick int, phase, period Time) Time {
+	if tick == 0 {
+		return phase
+	}
+	return period
+}

@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var got []Time
+	for _, at := range []Time{5, 1, 3, 2, 4} {
+		at := at
+		e.Schedule(at, func() { got = append(got, at) })
+	}
+	e.RunAll()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("ran %d events, want 5", len(got))
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(1, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	e := New()
+	e.Schedule(2.5, func() {
+		if e.Now() != 2.5 {
+			t.Errorf("Now() = %v inside event at 2.5", e.Now())
+		}
+	})
+	end := e.RunAll()
+	if end != 2.5 {
+		t.Fatalf("RunAll returned %v, want 2.5", end)
+	}
+}
+
+func TestAfter(t *testing.T) {
+	e := New()
+	var at Time
+	e.Schedule(1, func() {
+		e.After(0.5, func() { at = e.Now() })
+	})
+	e.RunAll()
+	if at != 1.5 {
+		t.Fatalf("After fired at %v, want 1.5", at)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(5, func() {})
+	e.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(1, func() {})
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil handler did not panic")
+		}
+	}()
+	e.Schedule(1, nil)
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.Schedule(1, func() { fired = true })
+	e.Cancel(ev)
+	e.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelForeignEventIgnored(t *testing.T) {
+	e1, e2 := New(), New()
+	fired := false
+	ev := e1.Schedule(1, func() { fired = true })
+	e2.Cancel(ev) // wrong engine: must be a no-op
+	e1.RunAll()
+	if !fired {
+		t.Fatal("event was cancelled by a foreign engine")
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	e := New()
+	var fired []Time
+	for _, at := range []Time{1, 2, 3} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	end := e.Run(2)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 1 and 2", fired)
+	}
+	if end != 2 {
+		t.Fatalf("Run(2) returned %v", end)
+	}
+	// Remaining event still fires on a later run.
+	e.RunAll()
+	if len(fired) != 3 {
+		t.Fatalf("event after horizon lost: %v", fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunAll()
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop at 3", count)
+	}
+	if !e.Stopped() {
+		t.Fatal("Stopped() = false")
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	e := New()
+	for i := 0; i < 7; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.RunAll()
+	if e.Processed() != 7 {
+		t.Fatalf("Processed() = %d, want 7", e.Processed())
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := New()
+	var order []string
+	e.Schedule(1, func() {
+		order = append(order, "a")
+		e.Schedule(1.5, func() { order = append(order, "nested") })
+	})
+	e.Schedule(2, func() { order = append(order, "b") })
+	e.RunAll()
+	want := []string{"a", "nested", "b"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := New()
+	var times []Time
+	var ticks []int
+	stop := e.Ticker(0.5, 1, func(tick int) {
+		times = append(times, e.Now())
+		ticks = append(ticks, tick)
+	})
+	e.Run(3.6)
+	stop()
+	e.RunAll()
+	want := []Time{0.5, 1.5, 2.5, 3.5}
+	if len(times) != len(want) {
+		t.Fatalf("ticker fired at %v, want %v", times, want)
+	}
+	for i := range want {
+		if math.Abs(float64(times[i]-want[i])) > 1e-9 || ticks[i] != i {
+			t.Fatalf("tick %d at %v, want index %d at %v", ticks[i], times[i], i, want[i])
+		}
+	}
+}
+
+func TestTickerStopPreventsFutureTicks(t *testing.T) {
+	e := New()
+	count := 0
+	var stop func()
+	stop = e.Ticker(1, 1, func(int) {
+		count++
+		if count == 2 {
+			stop()
+		}
+	})
+	e.Run(10)
+	if count != 2 {
+		t.Fatalf("ticker fired %d times after stop at 2", count)
+	}
+}
+
+func TestTickerBadPeriodPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero period did not panic")
+		}
+	}()
+	e.Ticker(0, 0, func(int) {})
+}
+
+// Property: for any batch of event times, execution order is a sorted,
+// complete permutation of the schedule.
+func TestQuickOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := New()
+		var got []Time
+		for _, r := range raw {
+			at := Time(r) / 16
+			e.Schedule(at, func() { got = append(got, at) })
+		}
+		e.RunAll()
+		if len(got) != len(raw) {
+			return false
+		}
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(Time(j%97), func() {})
+		}
+		e.RunAll()
+	}
+}

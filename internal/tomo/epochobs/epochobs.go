@@ -1,0 +1,122 @@
+// Package epochobs collects the sink-side observations that *traditional*
+// loss tomography consumes: per-source end-to-end delivery statistics and a
+// static routing-tree snapshot per epoch.
+//
+// Delivery statistics are inferred exactly as a real sink would: data
+// packets carry (origin, sequence number), so the expected count per origin
+// in an epoch is the sequence span and the delivered count is what arrived.
+//
+// The tree snapshot is the *dominant* parent of each node over the epoch,
+// voted from the hops of delivered packets. Real deployments get this from
+// periodic topology reports; deriving it from the actual journeys is
+// strictly generous to the baselines (their snapshot is as fresh as
+// possible), which makes Dophy's accuracy advantage conservative.
+package epochobs
+
+import (
+	"dophy/internal/collect"
+	"dophy/internal/topo"
+)
+
+// Epoch is one epoch's worth of baseline-visible observations.
+type Epoch struct {
+	// Delivered[i] and Expected[i] are per-origin packet counts.
+	Delivered []int64
+	Expected  []int64
+	// Tree[i] is node i's dominant parent, or -1 if never observed.
+	Tree []topo.NodeID
+}
+
+// PathToSink walks the dominant tree from origin; ok is false when the walk
+// hits a node without a parent or loops.
+func (e *Epoch) PathToSink(origin topo.NodeID) (links []topo.Link, ok bool) {
+	cur := origin
+	seen := make(map[topo.NodeID]bool)
+	for cur != topo.Sink {
+		if seen[cur] {
+			return nil, false
+		}
+		seen[cur] = true
+		p := e.Tree[cur]
+		if p < 0 {
+			return nil, false
+		}
+		links = append(links, topo.Link{From: cur, To: p})
+		cur = p
+	}
+	return links, true
+}
+
+// Collector accumulates observations and cuts them into epochs.
+type Collector struct {
+	n         int
+	delivered []int64
+	maxSeq    []int64 // highest sequence seen this epoch (0 = none)
+	lastSeq   []int64 // highest sequence seen in any previous epoch
+	votes     []map[topo.NodeID]int64
+}
+
+// New builds a collector for n nodes.
+func New(n int) *Collector {
+	c := &Collector{
+		n:         n,
+		delivered: make([]int64, n),
+		maxSeq:    make([]int64, n),
+		lastSeq:   make([]int64, n),
+		votes:     make([]map[topo.NodeID]int64, n),
+	}
+	return c
+}
+
+// OnJourney ingests one completed journey. Only delivered packets reach the
+// sink; drops contribute through the sequence gaps they leave.
+func (c *Collector) OnJourney(j *collect.PacketJourney) {
+	if !j.Delivered {
+		return
+	}
+	o := j.Origin
+	c.delivered[o]++
+	if j.Seq > c.maxSeq[o] {
+		c.maxSeq[o] = j.Seq
+	}
+	for _, h := range j.Hops {
+		m := c.votes[h.Link.From]
+		if m == nil {
+			m = make(map[topo.NodeID]int64)
+			c.votes[h.Link.From] = m
+		}
+		m[h.Link.To]++
+	}
+}
+
+// EndEpoch snapshots and resets the per-epoch state.
+func (c *Collector) EndEpoch() *Epoch {
+	e := &Epoch{
+		Delivered: make([]int64, c.n),
+		Expected:  make([]int64, c.n),
+		Tree:      make([]topo.NodeID, c.n),
+	}
+	copy(e.Delivered, c.delivered)
+	for i := 0; i < c.n; i++ {
+		e.Tree[i] = -1
+		if c.maxSeq[i] > 0 {
+			e.Expected[i] = c.maxSeq[i] - c.lastSeq[i]
+			c.lastSeq[i] = c.maxSeq[i]
+		}
+		if e.Expected[i] < e.Delivered[i] {
+			// Reordering across the epoch boundary: clamp.
+			e.Expected[i] = e.Delivered[i]
+		}
+		best := int64(0)
+		for to, v := range c.votes[i] {
+			if v > best || (v == best && best > 0 && to < e.Tree[i]) {
+				best = v
+				e.Tree[i] = to
+			}
+		}
+		c.delivered[i] = 0
+		c.maxSeq[i] = 0
+		c.votes[i] = nil
+	}
+	return e
+}

@@ -1,0 +1,126 @@
+package epochobs
+
+import (
+	"testing"
+
+	"dophy/internal/collect"
+	"dophy/internal/topo"
+)
+
+func delivered(origin topo.NodeID, seq int64, path []topo.NodeID) *collect.PacketJourney {
+	j := &collect.PacketJourney{Origin: origin, Seq: seq, Delivered: true}
+	for i := 0; i < len(path)-1; i++ {
+		j.Hops = append(j.Hops, collect.Hop{Link: topo.Link{From: path[i], To: path[i+1]}, Attempts: 1, Observed: 1})
+	}
+	return j
+}
+
+func TestDeliveryAndExpectedCounts(t *testing.T) {
+	c := New(3)
+	c.OnJourney(delivered(2, 1, []topo.NodeID{2, 1, 0}))
+	c.OnJourney(delivered(2, 2, []topo.NodeID{2, 1, 0}))
+	c.OnJourney(delivered(2, 5, []topo.NodeID{2, 1, 0})) // seqs 3,4 lost
+	e := c.EndEpoch()
+	if e.Delivered[2] != 3 {
+		t.Fatalf("delivered = %d", e.Delivered[2])
+	}
+	if e.Expected[2] != 5 {
+		t.Fatalf("expected = %d, want 5 (seq span)", e.Expected[2])
+	}
+}
+
+func TestExpectedAcrossEpochs(t *testing.T) {
+	c := New(2)
+	c.OnJourney(delivered(1, 10, []topo.NodeID{1, 0}))
+	c.EndEpoch()
+	c.OnJourney(delivered(1, 14, []topo.NodeID{1, 0}))
+	e := c.EndEpoch()
+	if e.Expected[1] != 4 {
+		t.Fatalf("second epoch expected = %d, want 4", e.Expected[1])
+	}
+	if e.Delivered[1] != 1 {
+		t.Fatalf("second epoch delivered = %d", e.Delivered[1])
+	}
+}
+
+func TestDroppedJourneysIgnored(t *testing.T) {
+	c := New(2)
+	j := delivered(1, 1, []topo.NodeID{1, 0})
+	j.Delivered = false
+	c.OnJourney(j)
+	e := c.EndEpoch()
+	if e.Delivered[1] != 0 || e.Expected[1] != 0 {
+		t.Fatal("dropped journey counted")
+	}
+}
+
+func TestDominantTree(t *testing.T) {
+	c := New(4)
+	// Node 3 forwards mostly via 1, occasionally via 2.
+	for i := 0; i < 8; i++ {
+		c.OnJourney(delivered(3, int64(i+1), []topo.NodeID{3, 1, 0}))
+	}
+	for i := 0; i < 3; i++ {
+		c.OnJourney(delivered(3, int64(i+9), []topo.NodeID{3, 2, 0}))
+	}
+	e := c.EndEpoch()
+	if e.Tree[3] != 1 {
+		t.Fatalf("dominant parent of 3 = %d, want 1", e.Tree[3])
+	}
+	if e.Tree[1] != 0 || e.Tree[2] != 0 {
+		t.Fatalf("tree = %v", e.Tree)
+	}
+	if e.Tree[0] != -1 {
+		t.Fatalf("sink parent = %d", e.Tree[0])
+	}
+}
+
+func TestPathToSink(t *testing.T) {
+	e := &Epoch{Tree: []topo.NodeID{-1, 0, 1, 2}}
+	links, ok := e.PathToSink(3)
+	if !ok || len(links) != 3 {
+		t.Fatalf("path = %v ok=%v", links, ok)
+	}
+	want := []topo.Link{{From: 3, To: 2}, {From: 2, To: 1}, {From: 1, To: 0}}
+	for i := range want {
+		if links[i] != want[i] {
+			t.Fatalf("path = %v", links)
+		}
+	}
+}
+
+func TestPathToSinkNoRoute(t *testing.T) {
+	e := &Epoch{Tree: []topo.NodeID{-1, -1, 1}}
+	if _, ok := e.PathToSink(2); ok {
+		t.Fatal("path through unrouted node accepted")
+	}
+}
+
+func TestPathToSinkLoop(t *testing.T) {
+	e := &Epoch{Tree: []topo.NodeID{-1, 2, 1}}
+	if _, ok := e.PathToSink(1); ok {
+		t.Fatal("looping tree path accepted")
+	}
+}
+
+func TestEpochResets(t *testing.T) {
+	c := New(2)
+	c.OnJourney(delivered(1, 3, []topo.NodeID{1, 0}))
+	c.EndEpoch()
+	e := c.EndEpoch()
+	if e.Delivered[1] != 0 || e.Expected[1] != 0 || e.Tree[1] != -1 {
+		t.Fatalf("state leaked across epochs: %+v", e)
+	}
+}
+
+func TestClampExpectedToDelivered(t *testing.T) {
+	c := New(2)
+	// Reordering: a packet with a lower seq than the previous epoch's max.
+	c.OnJourney(delivered(1, 10, []topo.NodeID{1, 0}))
+	c.EndEpoch()
+	c.OnJourney(delivered(1, 9, []topo.NodeID{1, 0})) // late arrival
+	e := c.EndEpoch()
+	if e.Expected[1] < e.Delivered[1] {
+		t.Fatalf("expected %d < delivered %d", e.Expected[1], e.Delivered[1])
+	}
+}

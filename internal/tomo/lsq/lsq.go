@@ -1,0 +1,105 @@
+// Package lsq is the linear least-squares loss-tomography baseline: the
+// classic static-path method that writes each source's end-to-end delivery
+// ratio as the product of per-link (per-hop, post-ARQ) success
+// probabilities, takes logs, and solves the resulting linear system over the
+// assumed routing tree with non-negativity constraints.
+//
+// Its two structural weaknesses are exactly what the paper exploits:
+//
+//  1. It sees only end-to-end delivery, and with ARQ almost everything is
+//     delivered, so per-hop drop probabilities are tiny and the implied
+//     per-attempt loss is poorly identified.
+//  2. It assumes the epoch's paths were static; under dynamic parent
+//     selection the attribution of loss to links smears.
+package lsq
+
+import (
+	"math"
+
+	"dophy/internal/mat"
+	"dophy/internal/tomo/epochobs"
+	"dophy/internal/tomo/geomle"
+	"dophy/internal/topo"
+)
+
+// Config tunes the baseline.
+type Config struct {
+	// MaxAttempts is the MAC budget, used to convert per-hop drop
+	// probability into per-attempt loss for comparison with Dophy.
+	MaxAttempts int
+	// MinExpected skips origins with fewer expected packets in the epoch.
+	MinExpected int64
+	// Iters/Tol drive the NNLS solver.
+	Iters int
+	Tol   float64
+}
+
+// DefaultConfig returns solver settings adequate for network-sized systems.
+func DefaultConfig() Config {
+	return Config{MaxAttempts: 8, MinExpected: 5, Iters: 4000, Tol: 1e-10}
+}
+
+// Estimate runs the baseline over one epoch of sink observations and
+// returns per-link per-attempt loss estimates for every link on a usable
+// path.
+func Estimate(e *epochobs.Epoch, cfg Config) map[topo.Link]float64 {
+	if cfg.MaxAttempts < 1 {
+		panic("lsq: MaxAttempts must be >= 1")
+	}
+	// Gather usable origins and the link set their tree paths cover.
+	type row struct {
+		links []topo.Link
+		b     float64
+	}
+	var rows []row
+	linkIdx := make(map[topo.Link]int)
+	var links []topo.Link
+	for origin := range e.Delivered {
+		id := topo.NodeID(origin)
+		if id == topo.Sink {
+			continue
+		}
+		n := e.Expected[origin]
+		if n < cfg.MinExpected {
+			continue
+		}
+		path, ok := e.PathToSink(id)
+		if !ok {
+			continue
+		}
+		dr := float64(e.Delivered[origin]) / float64(n)
+		if dr <= 0 {
+			// Nothing arrived: unbounded loss; clamp to a small ratio so
+			// the log stays finite (one phantom delivery).
+			dr = 0.5 / float64(n)
+		}
+		if dr > 1 {
+			dr = 1
+		}
+		rows = append(rows, row{links: path, b: -math.Log(dr)})
+		for _, l := range path {
+			if _, seen := linkIdx[l]; !seen {
+				linkIdx[l] = len(links)
+				links = append(links, l)
+			}
+		}
+	}
+	if len(rows) == 0 || len(links) == 0 {
+		return map[topo.Link]float64{}
+	}
+	a := mat.NewDense(len(rows), len(links))
+	b := make([]float64, len(rows))
+	for i, r := range rows {
+		b[i] = r.b
+		for _, l := range r.links {
+			a.Set(i, linkIdx[l], 1)
+		}
+	}
+	x := mat.NNLS(a, b, cfg.Iters, cfg.Tol)
+	out := make(map[topo.Link]float64, len(links))
+	for l, j := range linkIdx {
+		drop := 1 - math.Exp(-x[j]) // per-hop post-ARQ drop probability
+		out[l] = geomle.LossFromDrop(drop, cfg.MaxAttempts)
+	}
+	return out
+}

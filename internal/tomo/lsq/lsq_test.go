@@ -1,0 +1,129 @@
+package lsq
+
+import (
+	"math"
+	"testing"
+
+	"dophy/internal/tomo/epochobs"
+	"dophy/internal/tomo/geomle"
+	"dophy/internal/topo"
+)
+
+// chainEpoch builds an epoch over the tree 3->2->1->0 where every node sent
+// n packets and per-hop drop probabilities are given (index i = link from
+// node i+1... see below).
+func chainEpoch(n int64, drops []float64) *epochobs.Epoch {
+	// drops[i] is the drop probability of link (i+1) -> i for i=0..len-1.
+	nodes := len(drops) + 1
+	e := &epochobs.Epoch{
+		Delivered: make([]int64, nodes),
+		Expected:  make([]int64, nodes),
+		Tree:      make([]topo.NodeID, nodes),
+	}
+	e.Tree[0] = -1
+	for i := 1; i < nodes; i++ {
+		e.Tree[i] = topo.NodeID(i - 1)
+		deliver := 1.0
+		for j := 0; j < i; j++ {
+			deliver *= 1 - drops[j]
+		}
+		e.Expected[i] = n
+		e.Delivered[i] = int64(math.Round(float64(n) * deliver))
+	}
+	return e
+}
+
+func TestRecoversChainDrops(t *testing.T) {
+	drops := []float64{0.02, 0.05, 0.1}
+	e := chainEpoch(100000, drops)
+	cfg := DefaultConfig()
+	got := Estimate(e, cfg)
+	if len(got) != 3 {
+		t.Fatalf("estimated %d links", len(got))
+	}
+	for i, d := range drops {
+		l := topo.Link{From: topo.NodeID(i + 1), To: topo.NodeID(i)}
+		wantLoss := geomle.LossFromDrop(d, cfg.MaxAttempts)
+		if math.Abs(got[l]-wantLoss) > 0.02 {
+			t.Fatalf("link %v loss = %v, want ~%v", l, got[l], wantLoss)
+		}
+	}
+}
+
+func TestPerfectDeliveryZeroLoss(t *testing.T) {
+	e := chainEpoch(1000, []float64{0, 0})
+	got := Estimate(e, DefaultConfig())
+	for l, loss := range got {
+		if loss > 0.01 {
+			t.Fatalf("lossless link %v estimated at %v", l, loss)
+		}
+	}
+}
+
+func TestSkipsUnderSampledOrigins(t *testing.T) {
+	e := chainEpoch(2, []float64{0.1}) // below MinExpected
+	got := Estimate(e, DefaultConfig())
+	if len(got) != 0 {
+		t.Fatalf("under-sampled epoch produced estimates: %v", got)
+	}
+}
+
+func TestSkipsUnroutedOrigins(t *testing.T) {
+	e := chainEpoch(1000, []float64{0.1, 0.1})
+	e.Tree[1] = -1 // break the shared tail; origins 1 and 2 lose their paths
+	got := Estimate(e, DefaultConfig())
+	if len(got) != 0 {
+		t.Fatalf("unroutable origins produced estimates: %v", got)
+	}
+}
+
+func TestZeroDeliveryClamped(t *testing.T) {
+	e := chainEpoch(100, []float64{0.5})
+	e.Delivered[1] = 0 // nothing arrived
+	got := Estimate(e, DefaultConfig())
+	l := topo.Link{From: 1, To: 0}
+	if got[l] <= 0 || got[l] > 1 || math.IsInf(got[l], 0) || math.IsNaN(got[l]) {
+		t.Fatalf("zero-delivery estimate = %v", got[l])
+	}
+}
+
+func TestEmptyEpoch(t *testing.T) {
+	e := &epochobs.Epoch{Delivered: make([]int64, 3), Expected: make([]int64, 3), Tree: []topo.NodeID{-1, -1, -1}}
+	if got := Estimate(e, DefaultConfig()); len(got) != 0 {
+		t.Fatalf("empty epoch gave %v", got)
+	}
+}
+
+func TestPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MaxAttempts 0 accepted")
+		}
+	}()
+	Estimate(chainEpoch(10, []float64{0.1}), Config{MaxAttempts: 0})
+}
+
+func TestBranchyTree(t *testing.T) {
+	// Star over a shared trunk: 2->1->0, 3->1->0. Trunk link 1->0 shared.
+	e := &epochobs.Epoch{
+		Delivered: make([]int64, 4),
+		Expected:  make([]int64, 4),
+		Tree:      []topo.NodeID{-1, 0, 1, 1},
+	}
+	const n = 50000
+	dTrunk, d2, d3 := 0.04, 0.1, 0.02
+	e.Expected[1], e.Delivered[1] = n, int64(math.Round(n*(1-dTrunk)))
+	e.Expected[2], e.Delivered[2] = n, int64(math.Round(n*(1-d2)*(1-dTrunk)))
+	e.Expected[3], e.Delivered[3] = n, int64(math.Round(n*(1-d3)*(1-dTrunk)))
+	cfg := DefaultConfig()
+	got := Estimate(e, cfg)
+	check := func(l topo.Link, drop float64) {
+		want := geomle.LossFromDrop(drop, cfg.MaxAttempts)
+		if math.Abs(got[l]-want) > 0.03 {
+			t.Fatalf("link %v = %v, want ~%v (full: %v)", l, got[l], want, got)
+		}
+	}
+	check(topo.Link{From: 1, To: 0}, dTrunk)
+	check(topo.Link{From: 2, To: 1}, d2)
+	check(topo.Link{From: 3, To: 1}, d3)
+}

@@ -1,0 +1,163 @@
+// Package minc is the tree-structured maximum-likelihood loss-tomography
+// baseline in the lineage of MINC (Cáceres, Duffield, Horowitz, Towsley):
+// given a static routing tree and per-source end-to-end delivery counts, it
+// estimates per-link (per-hop, post-ARQ) drop probabilities by
+// expectation–maximisation, exploiting that sources sharing tree links share
+// loss.
+//
+// E-step: a lost packet from source s died on exactly one link of s's path;
+// the posterior probability it died on link l is the chance it survived all
+// links before l times the drop probability of l, normalised over the path.
+// M-step: each link's drop probability is its expected deaths over its
+// expected traversals. This is the textbook EM for serial-link loss and
+// converges monotonically in likelihood.
+//
+// Like the LSQ baseline it assumes the epoch's paths were static and sees
+// only post-ARQ outcomes, so it inherits both weaknesses the paper targets.
+package minc
+
+import (
+	"math"
+
+	"dophy/internal/tomo/epochobs"
+	"dophy/internal/tomo/geomle"
+	"dophy/internal/topo"
+)
+
+// Config tunes the EM.
+type Config struct {
+	MaxAttempts int   // MAC budget, for per-attempt conversion
+	MinExpected int64 // skip origins with fewer expected packets
+	MaxIters    int
+	Tol         float64 // max per-link change to declare convergence
+}
+
+// DefaultConfig returns standard EM settings.
+func DefaultConfig() Config {
+	return Config{MaxAttempts: 8, MinExpected: 5, MaxIters: 500, Tol: 1e-9}
+}
+
+// Estimate runs tree EM over one epoch and returns per-link per-attempt
+// loss estimates.
+func Estimate(e *epochobs.Epoch, cfg Config) map[topo.Link]float64 {
+	if cfg.MaxAttempts < 1 {
+		panic("minc: MaxAttempts must be >= 1")
+	}
+	type source struct {
+		path      []int // link indices, origin-side first
+		delivered float64
+		lost      float64
+	}
+	linkIdx := make(map[topo.Link]int)
+	var links []topo.Link
+	var sources []source
+	for origin := range e.Delivered {
+		id := topo.NodeID(origin)
+		if id == topo.Sink {
+			continue
+		}
+		n := e.Expected[origin]
+		if n < cfg.MinExpected {
+			continue
+		}
+		path, ok := e.PathToSink(id)
+		if !ok {
+			continue
+		}
+		idxPath := make([]int, len(path))
+		for i, l := range path {
+			j, seen := linkIdx[l]
+			if !seen {
+				j = len(links)
+				linkIdx[l] = j
+				links = append(links, l)
+			}
+			idxPath[i] = j
+		}
+		d := float64(e.Delivered[origin])
+		if d > float64(n) {
+			d = float64(n)
+		}
+		sources = append(sources, source{path: idxPath, delivered: d, lost: float64(n) - d})
+	}
+	if len(sources) == 0 || len(links) == 0 {
+		return map[topo.Link]float64{}
+	}
+
+	// Initialise drops uniformly from the aggregate loss rate.
+	var totalExp, totalLost float64
+	for _, s := range sources {
+		totalExp += s.delivered + s.lost
+		totalLost += s.lost
+	}
+	init := totalLost / math.Max(totalExp, 1) / 2
+	if init <= 0 {
+		init = 1e-4
+	}
+	drop := make([]float64, len(links))
+	for i := range drop {
+		drop[i] = init
+	}
+
+	deaths := make([]float64, len(links))
+	traversals := make([]float64, len(links))
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		for i := range deaths {
+			deaths[i] = 0
+			traversals[i] = 0
+		}
+		for _, s := range sources {
+			// Path delivery probability S_k = prod(1 - d_j).
+			pathDeliver := 1.0
+			for _, li := range s.path {
+				pathDeliver *= 1 - drop[li]
+			}
+			pathLoss := 1 - pathDeliver
+			// Delivered packets were offered to every link on the path.
+			if s.delivered > 0 {
+				for _, li := range s.path {
+					traversals[li] += s.delivered
+				}
+			}
+			if s.lost > 0 && pathLoss > 1e-15 {
+				// surv tracks S_{i-1}, the probability of surviving all
+				// links before the current one.
+				surv := 1.0
+				for _, li := range s.path {
+					// P(died exactly at l_i | lost) = S_{i-1} d_i / L.
+					deaths[li] += s.lost * surv * drop[li] / pathLoss
+					// P(offered to l_i | lost) = (S_{i-1} - S_k) / L:
+					// the packet survived the prefix and died at or after
+					// this link.
+					traversals[li] += s.lost * (surv - pathDeliver) / pathLoss
+					surv *= 1 - drop[li]
+				}
+			}
+		}
+		maxDelta := 0.0
+		for i := range drop {
+			if traversals[i] <= 0 {
+				continue
+			}
+			nd := deaths[i] / traversals[i]
+			if nd < 0 {
+				nd = 0
+			}
+			if nd > 1-1e-9 {
+				nd = 1 - 1e-9
+			}
+			if d := math.Abs(nd - drop[i]); d > maxDelta {
+				maxDelta = d
+			}
+			drop[i] = nd
+		}
+		if maxDelta < cfg.Tol {
+			break
+		}
+	}
+	out := make(map[topo.Link]float64, len(links))
+	for l, j := range linkIdx {
+		out[l] = geomle.LossFromDrop(drop[j], cfg.MaxAttempts)
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package minc
+
+import (
+	"math"
+	"testing"
+
+	"dophy/internal/tomo/epochobs"
+	"dophy/internal/tomo/geomle"
+	"dophy/internal/topo"
+)
+
+func chainEpoch(n int64, drops []float64) *epochobs.Epoch {
+	nodes := len(drops) + 1
+	e := &epochobs.Epoch{
+		Delivered: make([]int64, nodes),
+		Expected:  make([]int64, nodes),
+		Tree:      make([]topo.NodeID, nodes),
+	}
+	e.Tree[0] = -1
+	for i := 1; i < nodes; i++ {
+		e.Tree[i] = topo.NodeID(i - 1)
+		deliver := 1.0
+		for j := 0; j < i; j++ {
+			deliver *= 1 - drops[j]
+		}
+		e.Expected[i] = n
+		e.Delivered[i] = int64(math.Round(float64(n) * deliver))
+	}
+	return e
+}
+
+func TestEMRecoversChainDrops(t *testing.T) {
+	drops := []float64{0.03, 0.08, 0.15}
+	e := chainEpoch(100000, drops)
+	cfg := DefaultConfig()
+	got := Estimate(e, cfg)
+	if len(got) != 3 {
+		t.Fatalf("estimated %d links: %v", len(got), got)
+	}
+	for i, d := range drops {
+		l := topo.Link{From: topo.NodeID(i + 1), To: topo.NodeID(i)}
+		want := geomle.LossFromDrop(d, cfg.MaxAttempts)
+		if math.Abs(got[l]-want) > 0.03 {
+			t.Fatalf("link %v loss = %v, want ~%v", l, got[l], want)
+		}
+	}
+}
+
+func TestEMBranchyTree(t *testing.T) {
+	e := &epochobs.Epoch{
+		Delivered: make([]int64, 4),
+		Expected:  make([]int64, 4),
+		Tree:      []topo.NodeID{-1, 0, 1, 1},
+	}
+	const n = 50000
+	dTrunk, d2, d3 := 0.05, 0.12, 0.01
+	e.Expected[1], e.Delivered[1] = n, int64(math.Round(n*(1-dTrunk)))
+	e.Expected[2], e.Delivered[2] = n, int64(math.Round(n*(1-d2)*(1-dTrunk)))
+	e.Expected[3], e.Delivered[3] = n, int64(math.Round(n*(1-d3)*(1-dTrunk)))
+	cfg := DefaultConfig()
+	got := Estimate(e, cfg)
+	check := func(l topo.Link, drop float64) {
+		want := geomle.LossFromDrop(drop, cfg.MaxAttempts)
+		if math.Abs(got[l]-want) > 0.04 {
+			t.Fatalf("link %v = %v, want ~%v (full: %v)", l, got[l], want, got)
+		}
+	}
+	check(topo.Link{From: 1, To: 0}, dTrunk)
+	check(topo.Link{From: 2, To: 1}, d2)
+	check(topo.Link{From: 3, To: 1}, d3)
+}
+
+func TestPerfectDelivery(t *testing.T) {
+	e := chainEpoch(1000, []float64{0, 0})
+	got := Estimate(e, DefaultConfig())
+	for l, loss := range got {
+		if loss > 0.01 {
+			t.Fatalf("lossless link %v = %v", l, loss)
+		}
+	}
+}
+
+func TestSkipsUnderSampled(t *testing.T) {
+	e := chainEpoch(2, []float64{0.1})
+	if got := Estimate(e, DefaultConfig()); len(got) != 0 {
+		t.Fatalf("under-sampled epoch estimated: %v", got)
+	}
+}
+
+func TestEmptyEpoch(t *testing.T) {
+	e := &epochobs.Epoch{Delivered: make([]int64, 2), Expected: make([]int64, 2), Tree: []topo.NodeID{-1, -1}}
+	if got := Estimate(e, DefaultConfig()); len(got) != 0 {
+		t.Fatalf("empty epoch estimated: %v", got)
+	}
+}
+
+func TestDeliveredClampedToExpected(t *testing.T) {
+	e := chainEpoch(100, []float64{0.1})
+	e.Delivered[1] = 150 // reordering artefact
+	got := Estimate(e, DefaultConfig())
+	l := topo.Link{From: 1, To: 0}
+	if got[l] < 0 || got[l] > 1 || math.IsNaN(got[l]) {
+		t.Fatalf("clamped estimate = %v", got[l])
+	}
+}
+
+func TestPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MaxAttempts 0 accepted")
+		}
+	}()
+	Estimate(chainEpoch(10, []float64{0.1}), Config{MaxAttempts: 0})
+}
+
+func TestEMConvergesFromLossyStart(t *testing.T) {
+	// All loss on the far link; EM must not smear it onto the trunk.
+	e := chainEpoch(100000, []float64{0.0, 0.3})
+	cfg := DefaultConfig()
+	got := Estimate(e, cfg)
+	trunk := got[topo.Link{From: 1, To: 0}]
+	far := got[topo.Link{From: 2, To: 1}]
+	if far < trunk {
+		t.Fatalf("EM attributed loss to the wrong link: trunk=%v far=%v", trunk, far)
+	}
+	wantFar := geomle.LossFromDrop(0.3, cfg.MaxAttempts)
+	if math.Abs(far-wantFar) > 0.05 {
+		t.Fatalf("far link = %v, want ~%v", far, wantFar)
+	}
+}

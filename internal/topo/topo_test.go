@@ -1,0 +1,281 @@
+package topo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dophy/internal/rng"
+)
+
+func TestGridCount(t *testing.T) {
+	r := rng.New(1)
+	g := Grid(5, 10, 0, 15, r)
+	if g.N() != 25 {
+		t.Fatalf("Grid(5) has %d nodes, want 25", g.N())
+	}
+}
+
+func TestGridNoJitterAdjacency(t *testing.T) {
+	r := rng.New(1)
+	// spacing 10, range 10.5: 4-connectivity (diagonal is 14.1 > 10.5).
+	g := Grid(3, 10, 0, 10.5, r)
+	// Corner node 0 must have exactly 2 neighbors: east (1) and north (3).
+	nbs := g.Neighbors(0)
+	if len(nbs) != 2 || nbs[0] != 1 || nbs[1] != 3 {
+		t.Fatalf("corner neighbors = %v, want [1 3]", nbs)
+	}
+	// Center node 4 must have 4 neighbors.
+	if got := len(g.Neighbors(4)); got != 4 {
+		t.Fatalf("center degree = %d, want 4", got)
+	}
+}
+
+func TestGridDiagonalRange(t *testing.T) {
+	r := rng.New(1)
+	g := Grid(3, 10, 0, 15, r) // diagonal 14.14 within range
+	if got := len(g.Neighbors(4)); got != 8 {
+		t.Fatalf("center degree with diagonals = %d, want 8", got)
+	}
+}
+
+func TestUniformSinkAtOrigin(t *testing.T) {
+	r := rng.New(2)
+	u := Uniform(50, 100, 100, 25, r)
+	if u.Pos[0] != (Point{0, 0}) {
+		t.Fatalf("sink not at origin: %v", u.Pos[0])
+	}
+	if u.N() != 50 {
+		t.Fatalf("n = %d", u.N())
+	}
+	for i, p := range u.Pos {
+		if p.X < 0 || p.X > 100 || p.Y < 0 || p.Y > 100 {
+			t.Fatalf("node %d out of field: %v", i, p)
+		}
+	}
+}
+
+func TestCorridorBounds(t *testing.T) {
+	r := rng.New(3)
+	c := Corridor(40, 200, 10, 30, r)
+	for i, p := range c.Pos {
+		if p.X < 0 || p.X > 200 || p.Y < 0 || p.Y > 10 {
+			t.Fatalf("node %d out of corridor: %v", i, p)
+		}
+	}
+}
+
+func TestAdjacencySymmetric(t *testing.T) {
+	r := rng.New(4)
+	u := Uniform(60, 100, 100, 30, r)
+	for a := 0; a < u.N(); a++ {
+		for _, b := range u.Neighbors(NodeID(a)) {
+			found := false
+			for _, back := range u.Neighbors(b) {
+				if back == NodeID(a) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("asymmetric adjacency %d->%d", a, b)
+			}
+		}
+	}
+}
+
+func TestNoSelfLoops(t *testing.T) {
+	r := rng.New(5)
+	u := Uniform(40, 50, 50, 40, r)
+	for a := 0; a < u.N(); a++ {
+		for _, b := range u.Neighbors(NodeID(a)) {
+			if b == NodeID(a) {
+				t.Fatalf("self loop at %d", a)
+			}
+		}
+	}
+}
+
+func TestConnectedGrid(t *testing.T) {
+	r := rng.New(6)
+	g := Grid(7, 10, 1, 12, r)
+	if !g.Connected() {
+		t.Fatal("jittered grid with generous range should be connected")
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	// Two nodes 100m apart with 10m range cannot communicate.
+	tp := build([]Point{{0, 0}, {100, 0}}, 10)
+	if tp.Connected() {
+		t.Fatal("reported connected for a partitioned pair")
+	}
+	hops := tp.HopCounts()
+	if hops[1] != -1 {
+		t.Fatalf("unreachable node hop = %d, want -1", hops[1])
+	}
+}
+
+func TestHopCounts(t *testing.T) {
+	// Chain 0-1-2-3 at spacing 10, range 10.
+	pts := []Point{{0, 0}, {10, 0}, {20, 0}, {30, 0}}
+	tp := build(pts, 10.5)
+	hops := tp.HopCounts()
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if hops[i] != want[i] {
+			t.Fatalf("hops = %v, want %v", hops, want)
+		}
+	}
+}
+
+func TestLinksDirectedBothWays(t *testing.T) {
+	pts := []Point{{0, 0}, {5, 0}}
+	tp := build(pts, 10)
+	links := tp.Links()
+	if len(links) != 2 {
+		t.Fatalf("links = %v, want two directed links", links)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	pts := []Point{{0, 0}, {10, 0}, {20, 0}}
+	tp := build(pts, 10.5)
+	s := tp.Summary()
+	if !s.Connected || s.Nodes != 3 || s.MaxHops != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.MinDegree != 1 || s.MaxDegree != 2 {
+		t.Fatalf("degrees = %d..%d, want 1..2", s.MinDegree, s.MaxDegree)
+	}
+	if math.Abs(s.AvgHops-1.5) > 1e-9 { // nodes 1,2 at hops 1,2
+		t.Fatalf("avg hops = %v, want 1.5", s.AvgHops)
+	}
+}
+
+func TestDist(t *testing.T) {
+	if d := Dist(Point{0, 0}, Point{3, 4}); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("Dist = %v, want 5", d)
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := Uniform(30, 100, 100, 25, rng.New(77))
+	b := Uniform(30, 100, 100, 25, rng.New(77))
+	for i := range a.Pos {
+		if a.Pos[i] != b.Pos[i] {
+			t.Fatalf("same seed produced different topologies at node %d", i)
+		}
+	}
+}
+
+// Property: adjacency matches the range predicate exactly, for random fields.
+func TestQuickAdjacencyMatchesRange(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%30 + 2
+		tp := Uniform(n, 50, 50, 20, rng.New(seed))
+		for a := 0; a < n; a++ {
+			isNb := map[NodeID]bool{}
+			for _, b := range tp.Neighbors(NodeID(a)) {
+				isNb[b] = true
+			}
+			for b := 0; b < n; b++ {
+				if a == b {
+					continue
+				}
+				want := Dist(tp.Pos[a], tp.Pos[b]) <= 20
+				if isNb[NodeID(b)] != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuildUniform400(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Uniform(400, 200, 200, 25, rng.New(uint64(i)))
+	}
+}
+
+func TestLinkString(t *testing.T) {
+	l := Link{From: 3, To: 7}
+	if l.String() != "3->7" {
+		t.Fatalf("String = %q", l.String())
+	}
+}
+
+func TestFromPointsCopiesInput(t *testing.T) {
+	pts := []Point{{0, 0}, {5, 0}}
+	tp := FromPoints(pts, 10)
+	pts[1].X = 1000 // mutate the caller's slice
+	if !tp.Adjacent(0, 1) {
+		t.Fatal("FromPoints aliased caller's positions")
+	}
+}
+
+func TestFromPointsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty FromPoints accepted")
+		}
+	}()
+	FromPoints(nil, 10)
+}
+
+func TestChainValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Chain(0) accepted")
+		}
+	}()
+	Chain(0, 10, 10)
+}
+
+func TestGeneratorsValidation(t *testing.T) {
+	r := rng.New(1)
+	for name, fn := range map[string]func(){
+		"grid side 0": func() { Grid(0, 10, 0, 10, r) },
+		"uniform 0":   func() { Uniform(0, 10, 10, 5, r) },
+		"corridor 0":  func() { Corridor(0, 10, 10, 5, r) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestReachableFromSinkPartial(t *testing.T) {
+	// Two components: {0,1} and {2,3}.
+	tp := FromPoints([]Point{{0, 0}, {5, 0}, {100, 0}, {105, 0}}, 10)
+	reach := tp.ReachableFromSink()
+	if len(reach) != 2 {
+		t.Fatalf("reachable = %v", reach)
+	}
+	seen := map[NodeID]bool{}
+	for _, id := range reach {
+		seen[id] = true
+	}
+	if !seen[0] || !seen[1] || seen[2] || seen[3] {
+		t.Fatalf("wrong component: %v", reach)
+	}
+}
+
+func TestSingletonTopology(t *testing.T) {
+	tp := FromPoints([]Point{{0, 0}}, 10)
+	s := tp.Summary()
+	if !s.Connected || s.Nodes != 1 || s.Links != 0 || s.MaxHops != 0 {
+		t.Fatalf("singleton summary = %+v", s)
+	}
+	if len(tp.Links()) != 0 {
+		t.Fatal("singleton has links")
+	}
+}

@@ -1,0 +1,142 @@
+// Package trace records ground truth while a simulation runs.
+//
+// Tomography schemes are scored against what the network actually did, not
+// against the radio model's nominal parameters: the Recorder accumulates
+// per-link transmission attempts and successes (the empirical per-attempt
+// loss each estimator is trying to recover), plus delivery and routing-churn
+// counters. Epoch boundaries snapshot and reset the counters so each
+// estimation round is scored against its own window.
+package trace
+
+import (
+	"sort"
+
+	"dophy/internal/topo"
+)
+
+// LinkCounts accumulates per-attempt outcomes on one directed link. Data
+// and beacon transmissions are both Bernoulli trials of the same link, so
+// both feed the empirical loss; DataAttempts additionally marks which links
+// actually carried data (the links tomography schemes can say anything
+// about).
+type LinkCounts struct {
+	Attempts     int64 // individual radio transmissions (data + beacons)
+	Successes    int64 // transmissions that were received
+	DataAttempts int64 // data-packet transmissions only
+}
+
+// Loss returns the empirical per-attempt loss ratio and whether enough
+// attempts were observed to call it meaningful.
+func (c LinkCounts) Loss(minAttempts int64) (float64, bool) {
+	if c.Attempts < minAttempts || c.Attempts == 0 {
+		return 0, false
+	}
+	return 1 - float64(c.Successes)/float64(c.Attempts), true
+}
+
+// Recorder accumulates ground truth for the current epoch.
+type Recorder struct {
+	links         map[topo.Link]*LinkCounts
+	Generated     int64 // data packets created at origins
+	Delivered     int64 // data packets that reached the sink
+	Dropped       int64 // data packets dropped after retry exhaustion
+	ParentChanges int64 // routing parent switches
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{links: make(map[topo.Link]*LinkCounts)}
+}
+
+// Attempt records one data-packet transmission on l and its outcome.
+func (r *Recorder) Attempt(l topo.Link, received bool) {
+	c := r.counts(l)
+	c.Attempts++
+	c.DataAttempts++
+	if received {
+		c.Successes++
+	}
+}
+
+// Beacon records one beacon transmission on l and its outcome. Beacons
+// sharpen the empirical loss ground truth without marking the link as
+// data-active.
+func (r *Recorder) Beacon(l topo.Link, received bool) {
+	c := r.counts(l)
+	c.Attempts++
+	if received {
+		c.Successes++
+	}
+}
+
+func (r *Recorder) counts(l topo.Link) *LinkCounts {
+	c := r.links[l]
+	if c == nil {
+		c = &LinkCounts{}
+		r.links[l] = c
+	}
+	return c
+}
+
+// Link returns the accumulated counts for l (zero value if untouched).
+func (r *Recorder) Link(l topo.Link) LinkCounts {
+	if c := r.links[l]; c != nil {
+		return *c
+	}
+	return LinkCounts{}
+}
+
+// Epoch is an immutable snapshot of one epoch's ground truth.
+type Epoch struct {
+	Links         map[topo.Link]LinkCounts
+	Generated     int64
+	Delivered     int64
+	Dropped       int64
+	ParentChanges int64
+}
+
+// ActiveLinks returns the links with at least minAttempts *data* attempts,
+// in a deterministic order — the links a tomography scheme could plausibly
+// estimate.
+func (e *Epoch) ActiveLinks(minAttempts int64) []topo.Link {
+	var out []topo.Link
+	for l, c := range e.Links {
+		if c.DataAttempts >= minAttempts {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// DeliveryRatio returns delivered/generated for the epoch (1 if nothing was
+// generated).
+func (e *Epoch) DeliveryRatio() float64 {
+	if e.Generated == 0 {
+		return 1
+	}
+	return float64(e.Delivered) / float64(e.Generated)
+}
+
+// Cut snapshots the current counters into an Epoch and resets the recorder
+// for the next one.
+func (r *Recorder) Cut() *Epoch {
+	e := &Epoch{
+		Links:         make(map[topo.Link]LinkCounts, len(r.links)),
+		Generated:     r.Generated,
+		Delivered:     r.Delivered,
+		Dropped:       r.Dropped,
+		ParentChanges: r.ParentChanges,
+	}
+	for l, c := range r.links {
+		e.Links[l] = *c
+	}
+	r.links = make(map[topo.Link]*LinkCounts)
+	r.Generated, r.Delivered, r.Dropped, r.ParentChanges = 0, 0, 0, 0
+	return e
+}

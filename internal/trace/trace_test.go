@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"dophy/internal/topo"
+)
+
+var l12 = topo.Link{From: 1, To: 2}
+var l21 = topo.Link{From: 2, To: 1}
+
+func TestAttemptAccumulates(t *testing.T) {
+	r := NewRecorder()
+	r.Attempt(l12, true)
+	r.Attempt(l12, false)
+	r.Attempt(l12, true)
+	c := r.Link(l12)
+	if c.Attempts != 3 || c.Successes != 2 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestDirectionsSeparate(t *testing.T) {
+	r := NewRecorder()
+	r.Attempt(l12, true)
+	r.Attempt(l21, false)
+	if r.Link(l12).Successes != 1 || r.Link(l21).Successes != 0 {
+		t.Fatal("directions conflated")
+	}
+}
+
+func TestUntouchedLinkZero(t *testing.T) {
+	r := NewRecorder()
+	if c := r.Link(l12); c.Attempts != 0 || c.Successes != 0 {
+		t.Fatalf("untouched link = %+v", c)
+	}
+}
+
+func TestLossComputation(t *testing.T) {
+	c := LinkCounts{Attempts: 10, Successes: 7}
+	loss, ok := c.Loss(5)
+	if !ok || math.Abs(loss-0.3) > 1e-12 {
+		t.Fatalf("loss = %v ok=%v", loss, ok)
+	}
+	if _, ok := c.Loss(11); ok {
+		t.Fatal("loss reported ok below minAttempts")
+	}
+	if _, ok := (LinkCounts{}).Loss(0); ok {
+		t.Fatal("zero attempts reported ok")
+	}
+}
+
+func TestCutSnapshotsAndResets(t *testing.T) {
+	r := NewRecorder()
+	r.Attempt(l12, true)
+	r.Generated, r.Delivered, r.Dropped, r.ParentChanges = 5, 4, 1, 2
+	e := r.Cut()
+	if e.Generated != 5 || e.Delivered != 4 || e.Dropped != 1 || e.ParentChanges != 2 {
+		t.Fatalf("epoch = %+v", e)
+	}
+	if e.Links[l12].Attempts != 1 {
+		t.Fatal("epoch missing link counts")
+	}
+	// Recorder must now be clean.
+	if r.Generated != 0 || r.Link(l12).Attempts != 0 {
+		t.Fatal("Cut did not reset the recorder")
+	}
+	// Epoch must be immune to further recording.
+	r.Attempt(l12, true)
+	if e.Links[l12].Attempts != 1 {
+		t.Fatal("epoch snapshot aliases live counters")
+	}
+}
+
+func TestActiveLinksDeterministicOrder(t *testing.T) {
+	r := NewRecorder()
+	links := []topo.Link{{From: 3, To: 1}, {From: 1, To: 2}, {From: 1, To: 0}, {From: 2, To: 0}}
+	for _, l := range links {
+		r.Attempt(l, true)
+		r.Attempt(l, true)
+	}
+	r.Attempt(topo.Link{From: 9, To: 9}, true) // only one attempt
+	e := r.Cut()
+	got := e.ActiveLinks(2)
+	want := []topo.Link{{From: 1, To: 0}, {From: 1, To: 2}, {From: 2, To: 0}, {From: 3, To: 1}}
+	if len(got) != len(want) {
+		t.Fatalf("active links = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("active links = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDeliveryRatio(t *testing.T) {
+	e := &Epoch{Generated: 10, Delivered: 9}
+	if e.DeliveryRatio() != 0.9 {
+		t.Fatalf("ratio = %v", e.DeliveryRatio())
+	}
+	empty := &Epoch{}
+	if empty.DeliveryRatio() != 1 {
+		t.Fatalf("empty epoch ratio = %v", empty.DeliveryRatio())
+	}
+}
+
+func TestBeaconVsDataAttempts(t *testing.T) {
+	r := NewRecorder()
+	r.Attempt(l12, true)
+	r.Beacon(l12, false)
+	r.Beacon(l12, true)
+	c := r.Link(l12)
+	if c.Attempts != 3 || c.Successes != 2 || c.DataAttempts != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+	e := r.Cut()
+	// Beacon-only links are not data-active.
+	r2 := NewRecorder()
+	r2.Beacon(l21, true)
+	r2.Beacon(l21, true)
+	e2 := r2.Cut()
+	if len(e2.ActiveLinks(1)) != 0 {
+		t.Fatal("beacon-only link reported data-active")
+	}
+	if len(e.ActiveLinks(1)) != 1 {
+		t.Fatal("data link not reported active")
+	}
+}
