@@ -4,7 +4,14 @@
 // full-scale numbers come from `go run ./cmd/dophy-bench`.
 //
 // Fixed seeds keep the work per iteration identical across runs, so ns/op
-// is comparable between machines and commits.
+// is comparable between machines and commits. Every benchmark calls
+// b.ReportAllocs() so allocs/op regressions in the simulator hot paths are
+// visible without -benchmem.
+//
+// CI note: these benchmarks are compiled (but skipped) by plain `go test`;
+// a smoke run uses `-bench=BenchmarkT4EndToEnd -benchtime=1x`. None of them
+// need a testing.Short() guard because they do no work unless -bench selects
+// them.
 package dophy
 
 import (
@@ -27,6 +34,7 @@ func benchScenario(seed uint64) experiment.Scenario {
 // BenchmarkT1NetworkSize exercises the encoding-overhead workload: a full
 // simulated epoch with all five recording schemes attached (table T1).
 func BenchmarkT1NetworkSize(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sc := benchScenario(1)
 		res := experiment.Run(sc)
@@ -39,6 +47,7 @@ func BenchmarkT1NetworkSize(b *testing.B) {
 // BenchmarkF1PathLength exercises the deep-network workload behind the
 // overhead-vs-path-length figure (F1): a corridor forces long paths.
 func BenchmarkF1PathLength(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sc := benchScenario(2)
 		sc.Topo = experiment.TopoSpec{Kind: experiment.TopoChain, N: 15, Spacing: 10, Range: 11}
@@ -52,6 +61,7 @@ func BenchmarkF1PathLength(b *testing.B) {
 // BenchmarkF2TrafficVolume exercises the accuracy-vs-traffic workload (F2):
 // estimation epochs at high generation rate.
 func BenchmarkF2TrafficVolume(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sc := benchScenario(3)
 		sc.Collect.GenPeriod = 2
@@ -65,6 +75,7 @@ func BenchmarkF2TrafficVolume(b *testing.B) {
 // BenchmarkF3RoutingDynamics exercises the churn workload (F3): forced
 // parent randomisation on every beacon cycle.
 func BenchmarkF3RoutingDynamics(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sc := benchScenario(4)
 		sc.Routing.RandomizeParentProb = 0.3
@@ -77,6 +88,7 @@ func BenchmarkF3RoutingDynamics(b *testing.B) {
 
 // BenchmarkF4LossLevels exercises the uniform-loss workload (F4).
 func BenchmarkF4LossLevels(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sc := benchScenario(5)
 		sc.Radio = experiment.RadioSpec{Kind: experiment.RadioUniformLoss, UniformLoss: 0.2}
@@ -87,6 +99,7 @@ func BenchmarkF4LossLevels(b *testing.B) {
 // BenchmarkF5ErrorCDF exercises the error-distribution workload (F5):
 // scoring every scheme against ground truth.
 func BenchmarkF5ErrorCDF(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScenario(6)
 	res := experiment.Run(sc)
 	eo := res.Epochs[0]
@@ -101,6 +114,7 @@ func BenchmarkF5ErrorCDF(b *testing.B) {
 // BenchmarkT2Aggregation exercises the aggregation-threshold workload (T2):
 // Dophy with and without symbol aggregation over the same epoch.
 func BenchmarkT2Aggregation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sc := benchScenario(7)
 		sc.Dophy.AggThreshold = 2
@@ -111,6 +125,7 @@ func BenchmarkT2Aggregation(b *testing.B) {
 // BenchmarkT3ModelUpdate exercises the drifting-model workload (T3):
 // random-walk link dynamics with per-epoch model updates.
 func BenchmarkT3ModelUpdate(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sc := benchScenario(8)
 		sc.Radio = experiment.RadioSpec{Kind: experiment.RadioRandomWalk, WalkStep: 0.3, WalkEvery: 5}
@@ -123,6 +138,7 @@ func BenchmarkT3ModelUpdate(b *testing.B) {
 // BenchmarkF6Validation exercises the analytic-validation workload (F6): a
 // high-rate single-hop chain.
 func BenchmarkF6Validation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sc := benchScenario(9)
 		sc.Topo = experiment.TopoSpec{Kind: experiment.TopoChain, N: 2, Spacing: 10, Range: 11}
@@ -147,6 +163,7 @@ func BenchmarkT4EndToEnd(b *testing.B) {
 // BenchmarkPublicAPIEpoch measures the facade: one epoch through the public
 // Simulation type, the path example code takes.
 func BenchmarkPublicAPIEpoch(b *testing.B) {
+	b.ReportAllocs()
 	sim, err := NewSimulation(Options{GridSide: 5, Seed: 11, EpochSeconds: 100})
 	if err != nil {
 		b.Fatal(err)
@@ -161,6 +178,7 @@ func BenchmarkPublicAPIEpoch(b *testing.B) {
 
 // BenchmarkT5HopModels exercises the hop-identity model extension (T5).
 func BenchmarkT5HopModels(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sc := benchScenario(12)
 		sc.Dophy.HopModelUpdateEvery = 1
@@ -172,6 +190,7 @@ func BenchmarkT5HopModels(b *testing.B) {
 // BenchmarkT6RetryBudget exercises the retry-budget workload (T6) at the
 // low-budget end where drops dominate.
 func BenchmarkT6RetryBudget(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sc := benchScenario(13)
 		sc.Mac.MaxRetx = 1
@@ -181,6 +200,7 @@ func BenchmarkT6RetryBudget(b *testing.B) {
 
 // BenchmarkF7NodeFailures exercises the crash/recover workload (F7).
 func BenchmarkF7NodeFailures(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sc := benchScenario(14)
 		sc.Radio.FailMTBF = 120
@@ -191,11 +211,50 @@ func BenchmarkF7NodeFailures(b *testing.B) {
 
 // BenchmarkF8BurstyLosses exercises the Gilbert-Elliott workload (F8).
 func BenchmarkF8BurstyLosses(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sc := benchScenario(15)
 		sc.Radio = experiment.RadioSpec{
 			Kind: experiment.RadioGilbertElliott, MeanGood: 60, MeanBad: 15, BadFactor: 0.3,
 		}
 		experiment.Run(sc)
+	}
+}
+
+// BenchmarkSweepRunAll measures the parallel sweep engine end to end: four
+// independent scenario points fanned across the experiment worker pool. On a
+// multi-core machine wall-clock per op approaches the slowest single point;
+// with -cpu 1 (or one core) it degrades gracefully to the sequential sum.
+func BenchmarkSweepRunAll(b *testing.B) {
+	b.ReportAllocs()
+	scs := make([]experiment.Scenario, 4)
+	for i := range scs {
+		sc := benchScenario(uint64(20 + i))
+		sc.Radio = experiment.RadioSpec{
+			Kind: experiment.RadioUniformLoss, UniformLoss: 0.05 * float64(i+1),
+		}
+		scs[i] = sc
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiment.RunAll(scs)
+		if len(res) != len(scs) {
+			b.Fatal("missing results")
+		}
+	}
+}
+
+// BenchmarkSweepReplicates measures the multi-seed replicate path: the same
+// scenario across four seed streams with mean/CI aggregation.
+func BenchmarkSweepReplicates(b *testing.B) {
+	b.ReportAllocs()
+	sc := benchScenario(30)
+	seeds := experiment.Seeds(30, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := experiment.RunReplicates(sc, seeds)
+		if mean, _ := rep.MeanAccuracyCI(experiment.SchemeDophy); mean <= 0 {
+			b.Fatal("no accuracy signal")
+		}
 	}
 }

@@ -7,11 +7,14 @@
 //	dophy-bench                 # run all experiments, aligned text output
 //	dophy-bench -exp T1,F3      # run a subset
 //	dophy-bench -csv            # CSV output instead of aligned text
+//	dophy-bench -json           # machine-readable benchmark report
 //	dophy-bench -seed 42        # change the base seed
+//	dophy-bench -workers 4      # cap the scenario-sweep worker pool
 //	dophy-bench -list           # list experiment ids
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,15 +26,44 @@ import (
 	"dophy/internal/experiment"
 )
 
+// benchReport is the -json output: one record per experiment plus a summary,
+// so successive runs can be diffed (BENCH_*.json) to track perf regressions.
+type benchReport struct {
+	Seed        uint64            `json:"seed"`
+	Parallel    int               `json:"parallel"`
+	Workers     int               `json:"sweep_workers"`
+	NumCPU      int               `json:"num_cpu"`
+	GoVersion   string            `json:"go_version"`
+	Experiments []benchExperiment `json:"experiments"`
+	TotalWallS  float64           `json:"total_wall_seconds"`
+	TotalEvents uint64            `json:"total_sim_events"`
+	AllocBytes  uint64            `json:"total_alloc_bytes"`
+	Mallocs     uint64            `json:"mallocs"`
+}
+
+type benchExperiment struct {
+	ID        string  `json:"id"`
+	Title     string  `json:"title"`
+	WallS     float64 `json:"wall_seconds"`
+	Runs      int     `json:"sim_runs"`
+	SimEvents uint64  `json:"sim_events"`
+	EventsPS  float64 `json:"sim_events_per_second"`
+	Rows      int     `json:"rows"`
+}
+
 func main() {
 	var (
 		expFlag  = flag.String("exp", "", "comma-separated experiment ids (default: all)")
 		csvFlag  = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonFlag = flag.Bool("json", false, "emit a machine-readable benchmark report (suppresses tables)")
 		seedFlag = flag.Uint64("seed", 7, "base seed for all experiments")
 		listFlag = flag.Bool("list", false, "list experiment ids and exit")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "experiments to run concurrently (1 = sequential)")
+		workers  = flag.Int("workers", 0, "scenario-sweep worker pool size (0 = NumCPU)")
 	)
 	flag.Parse()
+
+	experiment.SetWorkers(*workers)
 
 	registry := experiment.All()
 	if *listFlag {
@@ -62,19 +94,28 @@ func main() {
 		selected = append(selected, r)
 	}
 
+	var memBefore runtime.MemStats
+	if *jsonFlag {
+		runtime.GC()
+		runtime.ReadMemStats(&memBefore)
+	}
+	wallStart := time.Now()
+
 	// Experiments are fully independent and deterministic (each run derives
-	// all randomness from its own seed), so they parallelise trivially.
-	// Results are printed in registry order regardless of completion order.
-	workers := *parallel
-	if workers < 1 {
-		workers = 1
+	// all randomness from its own seed), so they parallelise trivially; each
+	// experiment additionally sweeps its own scenario points through the
+	// shared experiment.Workers() pool. Results are printed in registry
+	// order regardless of completion order.
+	expWorkers := *parallel
+	if expWorkers < 1 {
+		expWorkers = 1
 	}
 	type outcome struct {
 		table   *experiment.Table
 		elapsed time.Duration
 	}
 	results := make([]outcome, len(selected))
-	sem := make(chan struct{}, workers)
+	sem := make(chan struct{}, expWorkers)
 	var wg sync.WaitGroup
 	for i, r := range selected {
 		wg.Add(1)
@@ -87,6 +128,45 @@ func main() {
 		}(i, r)
 	}
 	wg.Wait()
+	totalWall := time.Since(wallStart)
+
+	if *jsonFlag {
+		rep := benchReport{
+			Seed:       *seedFlag,
+			Parallel:   expWorkers,
+			Workers:    experiment.Workers(),
+			NumCPU:     runtime.NumCPU(),
+			GoVersion:  runtime.Version(),
+			TotalWallS: totalWall.Seconds(),
+		}
+		for i, res := range results {
+			eps := 0.0
+			if s := res.elapsed.Seconds(); s > 0 {
+				eps = float64(res.table.SimEvents) / s
+			}
+			rep.Experiments = append(rep.Experiments, benchExperiment{
+				ID:        selected[i].ID,
+				Title:     res.table.Title,
+				WallS:     res.elapsed.Seconds(),
+				Runs:      res.table.Runs,
+				SimEvents: res.table.SimEvents,
+				EventsPS:  eps,
+				Rows:      len(res.table.Rows),
+			})
+			rep.TotalEvents += res.table.SimEvents
+		}
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
+		rep.AllocBytes = memAfter.TotalAlloc - memBefore.TotalAlloc
+		rep.Mallocs = memAfter.Mallocs - memBefore.Mallocs
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "dophy-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	for i, res := range results {
 		if *csvFlag {

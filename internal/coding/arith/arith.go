@@ -55,6 +55,13 @@ func NewEncoder(w *bitio.Writer) *Encoder {
 	return &Encoder{high: mask, w: w}
 }
 
+// Reset rewinds the encoder to its initial state, emitting to w — the
+// allocation-free equivalent of NewEncoder for reusable scratch encoders.
+func (e *Encoder) Reset(w *bitio.Writer) {
+	e.low, e.high, e.pending, e.done = 0, mask, 0, false
+	e.w = w
+}
+
 func (e *Encoder) emit(bit int) {
 	e.w.WriteBit(bit)
 	for ; e.pending > 0; e.pending-- {
@@ -120,11 +127,18 @@ type Decoder struct {
 
 // NewDecoder returns a decoder consuming from r.
 func NewDecoder(r *bitio.Reader) *Decoder {
-	d := &Decoder{high: mask, r: r}
+	d := &Decoder{}
+	d.Reset(r)
+	return d
+}
+
+// Reset re-primes the decoder from the start of r — the allocation-free
+// equivalent of NewDecoder for reusable scratch decoders.
+func (d *Decoder) Reset(r *bitio.Reader) {
+	d.low, d.high, d.value, d.r = 0, mask, 0, r
 	for i := 0; i < codeBits; i++ {
 		d.value = d.value<<1 | uint64(r.ReadBit())
 	}
-	return d
 }
 
 // ErrCorrupt reports an undecodable stream (model/stream mismatch).

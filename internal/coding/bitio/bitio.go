@@ -13,6 +13,13 @@ type Writer struct {
 // NewWriter returns an empty writer.
 func NewWriter() *Writer { return &Writer{} }
 
+// Reset empties the writer for reuse, keeping the backing buffer so
+// steady-state encoding performs no allocation.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.cur, w.nCur, w.bits = 0, 0, 0
+}
+
 // WriteBit appends a single bit (any non-zero b counts as 1).
 func (w *Writer) WriteBit(b int) {
 	w.cur <<= 1
@@ -72,12 +79,18 @@ func NewWriterFrom(completed []byte, partial byte, n int) *Writer {
 // Bytes returns the written bits padded with zeros to a byte boundary. The
 // writer remains usable; Bytes may be called repeatedly.
 func (w *Writer) Bytes() []byte {
-	out := make([]byte, len(w.buf), len(w.buf)+1)
-	copy(out, w.buf)
+	return w.AppendBytes(nil)
+}
+
+// AppendBytes appends the written bits, zero-padded to a byte boundary, to
+// dst and returns the extended slice — the allocation-free variant of Bytes
+// for callers that own a scratch buffer.
+func (w *Writer) AppendBytes(dst []byte) []byte {
+	dst = append(dst, w.buf...)
 	if w.nCur > 0 {
-		out = append(out, w.cur<<uint(8-w.nCur))
+		dst = append(dst, w.cur<<uint(8-w.nCur))
 	}
-	return out
+	return dst
 }
 
 // Reader consumes bits MSB-first from a byte slice. Reads past the end
@@ -91,6 +104,13 @@ type Reader struct {
 
 // NewReader wraps buf (not copied).
 func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Reset points the reader at buf (not copied) and rewinds it, for reuse
+// without allocation.
+func (r *Reader) Reset(buf []byte) {
+	r.buf = buf
+	r.pos, r.over = 0, 0
+}
 
 // ReadBit returns the next bit, or 0 once the input is exhausted.
 func (r *Reader) ReadBit() int {

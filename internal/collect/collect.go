@@ -128,6 +128,13 @@ type Network struct {
 	subs       []JourneyFunc
 	annotators []Annotator
 	started    bool
+	// genFns holds one prebuilt generation handler per node, so periodic
+	// rescheduling does not allocate a fresh closure every packet.
+	genFns []sim.Handler
+	// contFree pools hop continuations (see hopCont): each carrier owns a
+	// single prebuilt handler, so the per-hop forwarding path performs no
+	// closure allocation in steady state.
+	contFree []*hopCont
 	// Per-node forwarding queues (QueueCap > 0 only).
 	busy   []bool
 	queues [][]*PacketJourney
@@ -183,10 +190,12 @@ func (n *Network) Start() {
 		panic("collect: Start called twice")
 	}
 	n.started = true
+	n.genFns = make([]sim.Handler, n.tp.N())
 	for i := 1; i < n.tp.N(); i++ {
 		id := topo.NodeID(i)
+		n.genFns[i] = func() { n.generate(id) }
 		first := sim.Time(n.r.Float64()) * n.cfg.GenPeriod
-		n.eng.Schedule(n.eng.Now()+first, func() { n.generate(id) })
+		n.eng.Schedule(n.eng.Now()+first, n.genFns[i])
 	}
 }
 
@@ -206,7 +215,7 @@ func (n *Network) generate(id topo.NodeID) {
 		a.OnGenerate(j)
 	}
 	n.forward(id, j)
-	n.eng.After(n.jitteredPeriod(), func() { n.generate(id) })
+	n.eng.After(n.jitteredPeriod(), n.genFns[id])
 }
 
 // forward admits j to node at: directly when contention is unmodelled or
@@ -243,6 +252,49 @@ func (n *Network) release(at topo.NodeID) {
 	n.busy[at] = false
 }
 
+// hopCont is a pooled continuation for the post-hop delay: it stands in for
+// the closure transmit would otherwise allocate per hop. Each carrier is
+// created once with a single prebuilt handler bound to itself and returns
+// to the network's pool when it runs.
+type hopCont struct {
+	n      *Network
+	at     topo.NodeID
+	parent topo.NodeID
+	j      *PacketJourney // nil for release-only continuations (drop path)
+	fn     sim.Handler
+}
+
+// cont draws a carrier from the pool (or mints one) and arms it.
+func (n *Network) cont(at, parent topo.NodeID, j *PacketJourney) *hopCont {
+	var c *hopCont
+	if k := len(n.contFree); k > 0 {
+		c = n.contFree[k-1]
+		n.contFree[k-1] = nil
+		n.contFree = n.contFree[:k-1]
+	} else {
+		c = &hopCont{n: n}
+		c.fn = c.run
+	}
+	c.at, c.parent, c.j = at, parent, j
+	return c
+}
+
+// run fires the continuation and recycles the carrier.
+func (c *hopCont) run() {
+	n, at, parent, j := c.n, c.at, c.parent, c.j
+	c.j = nil
+	n.contFree = append(n.contFree, c)
+	n.release(at)
+	if j == nil {
+		return
+	}
+	if parent == topo.Sink {
+		n.finish(j, NotDropped)
+		return
+	}
+	n.forward(parent, j)
+}
+
 // transmit performs one hop of j from node at, then schedules the next.
 func (n *Network) transmit(at topo.NodeID, j *PacketJourney) {
 	if len(j.Hops) >= n.cfg.TTL {
@@ -261,7 +313,7 @@ func (n *Network) transmit(at topo.NodeID, j *PacketJourney) {
 	n.proto.OnDataResult(at, parent, res)
 	delay := n.cfg.HopDelay + n.cfg.TxTime*sim.Time(res.Attempts)
 	if !res.Delivered {
-		n.eng.After(delay, func() { n.release(at) })
+		n.eng.After(delay, n.cont(at, 0, nil).fn)
 		n.finish(j, DropRetries)
 		return
 	}
@@ -270,14 +322,7 @@ func (n *Network) transmit(at topo.NodeID, j *PacketJourney) {
 	for _, a := range n.annotators {
 		a.OnHop(j, hop)
 	}
-	n.eng.After(delay, func() {
-		n.release(at)
-		if parent == topo.Sink {
-			n.finish(j, NotDropped)
-			return
-		}
-		n.forward(parent, j)
-	})
+	n.eng.After(delay, n.cont(at, parent, j).fn)
 }
 
 // finish completes a journey and notifies subscribers.

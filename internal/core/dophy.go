@@ -193,6 +193,20 @@ type Dophy struct {
 	hopWindow    [][]uint64 // decoded next-hop indices per sender node
 	overhead     Overhead
 	decodeErrors int64
+
+	// Scratch state reused across encode/decode calls. A Dophy engine is
+	// driven from a single sequential simulation loop (one journey at a
+	// time), so reuse is safe and keeps the per-packet hot path free of
+	// heap allocations. The slices returned by encode/decode alias these
+	// buffers and are only valid until the next call.
+	encWriter  *bitio.Writer
+	encCoder   *arith.Encoder
+	decReader  *bitio.Reader
+	decCoder   *arith.Decoder
+	prefixBuf  []int
+	dataBuf    []byte
+	linkBuf    []topo.Link
+	countBuf   []int
 }
 
 // New builds a Dophy engine over the given topology.
@@ -226,6 +240,10 @@ func New(tp *topo.Topology, cfg Config) *Dophy {
 		d.meanHops = float64(sum) / float64(cnt)
 	}
 	d.linkObs = make(map[topo.Link]*geomle.Obs)
+	d.encWriter = bitio.NewWriter()
+	d.encCoder = arith.NewEncoder(d.encWriter)
+	d.decReader = bitio.NewReader(nil)
+	d.decCoder = arith.NewDecoder(d.decReader)
 	return d
 }
 
@@ -320,20 +338,25 @@ func (d *Dophy) accumulate(hops []topo.Link, counts []int) {
 
 // encode produces the annotation bytes for a delivered journey, its final
 // bit length, and the prefix bit lengths after each hop record (what the
-// packet carried in flight).
+// packet carried in flight). The returned slices alias the engine's scratch
+// buffers and are only valid until the next encode call.
 func (d *Dophy) encode(j *collect.PacketJourney) (data []byte, finalBits int, prefixBits []int) {
-	w := bitio.NewWriter()
-	e := arith.NewEncoder(w)
-	prefixBits = make([]int, len(j.Hops))
-	for i, h := range j.Hops {
+	w := d.encWriter
+	w.Reset()
+	e := d.encCoder
+	e.Reset(w)
+	prefixBits = d.prefixBuf[:0]
+	for _, h := range j.Hops {
 		hm := d.hopModels[h.Link.From]
 		idx := neighborIndex(d.tp, h.Link.From, h.Link.To)
 		e.Encode(hm, idx)
 		e.Encode(d.countModel, d.agg.Map(h.Observed-1))
-		prefixBits[i] = w.Bits()
+		prefixBits = append(prefixBits, w.Bits())
 	}
+	d.prefixBuf = prefixBits
 	e.Finish()
-	return w.Bytes(), w.Bits(), prefixBits
+	d.dataBuf = w.AppendBytes(d.dataBuf[:0])
+	return d.dataBuf, w.Bits(), prefixBits
 }
 
 // decode reconstructs the hop links and count symbols from an annotation
@@ -343,12 +366,16 @@ func (d *Dophy) decode(origin topo.NodeID, data []byte, nHops int) ([]topo.Link,
 }
 
 // decodeWith decodes against an explicit model version (the one the packet
-// was encoded under, for in-flight packets spanning a model update).
+// was encoded under, for in-flight packets spanning a model update). The
+// returned slices alias the engine's scratch buffers and are only valid
+// until the next decode call.
 func (d *Dophy) decodeWith(origin topo.NodeID, data []byte, nHops int, countModel *model.Static, hopModels []*model.Static) ([]topo.Link, []int, error) {
-	dec := arith.NewDecoder(bitio.NewReader(data))
+	d.decReader.Reset(data)
+	dec := d.decCoder
+	dec.Reset(d.decReader)
 	cur := origin
-	links := make([]topo.Link, 0, nHops)
-	counts := make([]int, 0, nHops)
+	links := d.linkBuf[:0]
+	counts := d.countBuf[:0]
 	for cur != topo.Sink {
 		if len(links) > nHops {
 			return nil, nil, fmt.Errorf("core: decode overran %d hops", nHops)
@@ -370,6 +397,7 @@ func (d *Dophy) decodeWith(origin topo.NodeID, data []byte, nHops int, countMode
 		counts = append(counts, sym)
 		cur = next
 	}
+	d.linkBuf, d.countBuf = links, counts
 	return links, counts, nil
 }
 

@@ -17,6 +17,25 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+	// SimEvents / Runs meter the simulation work behind the table (summed
+	// over its scenario runs). They never appear in Format/CSV output —
+	// cmd/dophy-bench -json reads them for throughput reporting.
+	SimEvents uint64
+	Runs      int
+}
+
+// recordRuns folds run-level metering into the table.
+func (t *Table) recordRuns(results ...*RunResult) {
+	for _, r := range results {
+		t.SimEvents += r.Events
+		t.Runs++
+	}
+}
+
+// recordSession folds a session-driven experiment's metering into the table.
+func (t *Table) recordSession(events uint64) {
+	t.SimEvents += events
+	t.Runs++
 }
 
 // Format renders the table as aligned text.
@@ -86,22 +105,27 @@ func T1(seed uint64) *Table {
 			"claim: arithmetic coding (dophy) < huffman < compact < raw at every size",
 		},
 	}
-	for _, side := range []int{7, 10, 15, 20} {
+	sides := []int{7, 10, 15, 20}
+	scs := make([]Scenario, len(sides))
+	for i, side := range sides {
 		sc := DefaultScenario()
 		sc.Name = fmt.Sprintf("t1-%d", side*side)
 		sc.Seed = seed + uint64(side)
 		sc.Topo = GridSpec(side)
 		sc.Epochs = 2
 		sc.EpochLen = 200
-		res := Run(sc)
+		scs[i] = sc
+	}
+	for i, res := range RunAll(scs) {
 		row := []string{
-			fmt.Sprintf("%d", side*side),
+			fmt.Sprintf("%d", sides[i]*sides[i]),
 			f2(res.Topology.Summary().AvgHops),
 		}
 		for _, s := range overheadSchemes {
 			row = append(row, f2(res.MeanBitsPerPacket(s)/8))
 		}
 		t.Rows = append(t.Rows, row)
+		t.recordRuns(res)
 	}
 	return t
 }
@@ -124,6 +148,7 @@ func F1(seed uint64) *Table {
 	sc.Epochs = 2
 	sc.EpochLen = 250
 	res := Run(sc)
+	t.recordRuns(res)
 	// Bucket Dophy's per-packet bits by hop count.
 	byHops := map[int][]float64{}
 	for _, eo := range res.Epochs {
@@ -180,18 +205,23 @@ func F2(seed uint64) *Table {
 			"claim: dophy converges quickly with traffic; delivery-ratio baselines stay coarse",
 		},
 	}
-	for _, el := range []float64{60, 150, 300, 600, 1200} {
+	lens := []float64{60, 150, 300, 600, 1200}
+	scs := make([]Scenario, len(lens))
+	for i, el := range lens {
 		sc := DefaultScenario()
 		sc.Name = fmt.Sprintf("f2-%.0f", el)
 		sc.Seed = seed + uint64(el)
 		sc.EpochLen = sim.Time(el)
 		sc.Epochs = 3
-		res := Run(sc)
-		row := []string{f1(el), f1(res.MeanPacketsPerEpoch)}
+		scs[i] = sc
+	}
+	for i, res := range RunAll(scs) {
+		row := []string{f1(lens[i]), f1(res.MeanPacketsPerEpoch)}
 		for _, s := range accuracySchemes {
 			row = append(row, f(res.MeanAccuracy(s).MAE))
 		}
 		t.Rows = append(t.Rows, row)
+		t.recordRuns(res)
 	}
 	return t
 }
@@ -210,7 +240,9 @@ func F3(seed uint64) *Table {
 	t.Notes = append(t.Notes,
 		"MaxRetx=1 here so end-to-end delivery carries signal: at zero churn the",
 		"static-path baselines are at their best, isolating the dynamics effect")
-	for _, churn := range []float64{0, 0.05, 0.15, 0.3, 0.5} {
+	churns := []float64{0, 0.05, 0.15, 0.3, 0.5}
+	scs := make([]Scenario, len(churns))
+	for i, churn := range churns {
 		sc := DefaultScenario()
 		sc.Name = fmt.Sprintf("f3-%.2f", churn)
 		sc.Seed = seed // identical network across rows; only churn varies
@@ -225,12 +257,15 @@ func F3(seed uint64) *Table {
 		sc.Routing.AlphaBeacon = 0.1
 		sc.EpochLen = 600
 		sc.Epochs = 3
-		res := Run(sc)
-		row := []string{f2(churn), f2(res.ParentChangesPerNodePerEpoch)}
+		scs[i] = sc
+	}
+	for i, res := range RunAll(scs) {
+		row := []string{f2(churns[i]), f2(res.ParentChangesPerNodePerEpoch)}
 		for _, s := range accuracySchemes {
 			row = append(row, f(res.MeanAccuracy(s).MAE))
 		}
 		t.Rows = append(t.Rows, row)
+		t.recordRuns(res)
 	}
 	return t
 }
@@ -246,18 +281,23 @@ func F4(seed uint64) *Table {
 			"claim: dophy stays accurate across loss regimes",
 		},
 	}
-	for _, loss := range []float64{0.05, 0.1, 0.2, 0.3} {
+	losses := []float64{0.05, 0.1, 0.2, 0.3}
+	scs := make([]Scenario, len(losses))
+	for i, loss := range losses {
 		sc := DefaultScenario()
 		sc.Name = fmt.Sprintf("f4-%.2f", loss)
 		sc.Seed = seed + uint64(loss*100)
 		sc.Radio = RadioSpec{Kind: RadioUniformLoss, UniformLoss: loss}
 		sc.Epochs = 3
-		res := Run(sc)
-		row := []string{f2(loss)}
+		scs[i] = sc
+	}
+	for i, res := range RunAll(scs) {
+		row := []string{f2(losses[i])}
 		for _, s := range accuracySchemes {
 			row = append(row, f(res.MeanAccuracy(s).MAE))
 		}
 		t.Rows = append(t.Rows, row)
+		t.recordRuns(res)
 	}
 	return t
 }
@@ -277,6 +317,7 @@ func F5(seed uint64) *Table {
 	sc.Seed = seed
 	sc.Epochs = 4
 	res := Run(sc)
+	t.recordRuns(res)
 	errsBy := map[string][]float64{}
 	for _, eo := range res.Epochs {
 		for _, s := range accuracySchemes {
@@ -312,15 +353,20 @@ func T2(seed uint64) *Table {
 			"claim: aggregation trims overhead with negligible accuracy cost",
 		},
 	}
-	for _, thr := range []int{0, 2, 3, 4, 6} {
+	thresholds := []int{0, 2, 3, 4, 6}
+	scs := make([]Scenario, len(thresholds))
+	for i, thr := range thresholds {
 		sc := DefaultScenario()
 		sc.Name = fmt.Sprintf("t2-%d", thr)
 		sc.Seed = seed // identical realisation across thresholds
 		sc.Dophy.AggThreshold = thr
 		sc.Epochs = 3
-		res := Run(sc)
+		scs[i] = sc
+	}
+	for i, res := range RunAll(scs) {
+		thr := thresholds[i]
 		acc := res.MeanAccuracy(SchemeDophy)
-		symbols := sc.Mac.MaxRetx + 1
+		symbols := scs[i].Mac.MaxRetx + 1
 		if thr > 0 {
 			symbols = thr + 1
 		}
@@ -331,6 +377,7 @@ func T2(seed uint64) *Table {
 			f(acc.MAE),
 			f2(acc.Coverage),
 		})
+		t.recordRuns(res)
 	}
 	return t
 }
@@ -347,7 +394,9 @@ func T3(seed uint64) *Table {
 			"claim: periodic updates minimise total (in-packet + dissemination) overhead",
 		},
 	}
-	for _, ue := range []int{0, 1, 2, 4, 8} {
+	periods := []int{0, 1, 2, 4, 8}
+	scs := make([]Scenario, len(periods))
+	for i, ue := range periods {
 		sc := DefaultScenario()
 		sc.Name = fmt.Sprintf("t3-%d", ue)
 		sc.Seed = seed
@@ -355,16 +404,19 @@ func T3(seed uint64) *Table {
 		sc.Dophy.UpdateEvery = ue
 		sc.Epochs = 8
 		sc.EpochLen = 200
-		res := Run(sc)
+		scs[i] = sc
+	}
+	for i, res := range RunAll(scs) {
 		annot := res.MeanBitsPerPacket(SchemeDophy) / 8
 		total := res.TotalBitsPerPacket(SchemeDophy) / 8
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", ue),
+			fmt.Sprintf("%d", periods[i]),
 			f2(annot),
 			f2(total - annot),
 			f2(total),
 			f(res.MeanAccuracy(SchemeDophy).MAE),
 		})
+		t.recordRuns(res)
 	}
 	return t
 }
@@ -379,7 +431,9 @@ func F6(seed uint64) *Table {
 			"single-hop chain, uniform loss; delivery = 1-loss^M, meanT = truncated-geometric mean",
 		},
 	}
-	for _, loss := range []float64{0.1, 0.3, 0.5, 0.7} {
+	losses := []float64{0.1, 0.3, 0.5, 0.7}
+	scs := make([]Scenario, len(losses))
+	for i, loss := range losses {
 		sc := DefaultScenario()
 		sc.Name = fmt.Sprintf("f6-%.1f", loss)
 		sc.Seed = seed + uint64(loss*10)
@@ -388,10 +442,14 @@ func F6(seed uint64) *Table {
 		sc.Collect.GenPeriod = 0.5
 		sc.Epochs = 1
 		sc.EpochLen = 3000
-		res := Run(sc)
+		scs[i] = sc
+	}
+	for i, res := range RunAll(scs) {
+		loss := losses[i]
+		t.recordRuns(res)
 		truth := res.Epochs[0].Truth
 		measuredDeliv := truth.DeliveryRatio()
-		m := sc.Mac.MaxRetx + 1
+		m := scs[i].Mac.MaxRetx + 1
 		analyticDeliv := 1 - pow(loss, m)
 		// Analytic truncated-geometric mean attempts for delivered packets.
 		p := 1 - loss
@@ -446,6 +504,7 @@ func T4(seed uint64) *Table {
 	start := nowNanos()
 	res := Run(sc)
 	elapsed := float64(nowNanos()-start) / 1e9
+	t.recordRuns(res)
 	var pkts int64
 	for _, eo := range res.Epochs {
 		pkts += eo.Truth.Delivered

@@ -28,7 +28,9 @@ func T5(seed uint64) *Table {
 			"a node forwarding most traffic to one parent pays < log2(degree) bits per hop id",
 		},
 	}
-	for _, ue := range []int{0, 1, 2, 4} {
+	periods := []int{0, 1, 2, 4}
+	scs := make([]Scenario, len(periods))
+	for i, ue := range periods {
 		sc := DefaultScenario()
 		sc.Name = fmt.Sprintf("t5-%d", ue)
 		sc.Seed = seed
@@ -36,16 +38,19 @@ func T5(seed uint64) *Table {
 		sc.Dophy.HopModelTotal = 256
 		sc.Epochs = 6
 		sc.EpochLen = 250
-		res := Run(sc)
+		scs[i] = sc
+	}
+	for i, res := range RunAll(scs) {
 		annot := res.MeanBitsPerPacket(SchemeDophy) / 8
 		total := res.TotalBitsPerPacket(SchemeDophy) / 8
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", ue),
+			fmt.Sprintf("%d", periods[i]),
 			f2(annot),
 			f2(total - annot),
 			f2(total),
 			f(res.MeanAccuracy(SchemeDophy).MAE),
 		})
+		t.recordRuns(res)
 	}
 	return t
 }
@@ -63,25 +68,30 @@ func T6(seed uint64) *Table {
 			"of signal; retransmission counts keep their full information content",
 		},
 	}
-	for _, retx := range []int{0, 1, 3, 7} {
+	budgets := []int{0, 1, 3, 7}
+	scs := make([]Scenario, len(budgets))
+	for i, retx := range budgets {
 		sc := DefaultScenario()
 		sc.Name = fmt.Sprintf("t6-%d", retx)
 		sc.Seed = seed
 		sc.Mac.MaxRetx = retx
 		sc.EpochLen = 400
 		sc.Epochs = 3
-		res := Run(sc)
+		scs[i] = sc
+	}
+	for i, res := range RunAll(scs) {
 		var delivery float64
 		for _, eo := range res.Epochs {
 			delivery += eo.Truth.DeliveryRatio() / float64(len(res.Epochs))
 		}
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", retx),
+			fmt.Sprintf("%d", budgets[i]),
 			f(delivery),
 			f(res.MeanAccuracy(SchemeDophy).MAE),
 			f(res.MeanAccuracy(SchemeMINC).MAE),
 			f(res.MeanAccuracy(SchemeLSQ).MAE),
 		})
+		t.recordRuns(res)
 	}
 	return t
 }
@@ -98,7 +108,9 @@ func F7(seed uint64) *Table {
 			"routing discovers failures via lost beacons/ACKs and re-routes",
 		},
 	}
-	for _, mtbf := range []float64{0, 2400, 1200, 600, 300} {
+	mtbfs := []float64{0, 2400, 1200, 600, 300}
+	scs := make([]Scenario, len(mtbfs))
+	for i, mtbf := range mtbfs {
 		sc := DefaultScenario()
 		sc.Name = fmt.Sprintf("f7-%.0f", mtbf)
 		sc.Seed = seed
@@ -108,7 +120,11 @@ func F7(seed uint64) *Table {
 		}
 		sc.EpochLen = 400
 		sc.Epochs = 3
-		res := Run(sc)
+		scs[i] = sc
+	}
+	for i, res := range RunAll(scs) {
+		mtbf := mtbfs[i]
+		t.recordRuns(res)
 		var delivery, churn float64
 		for _, eo := range res.Epochs {
 			delivery += eo.Truth.DeliveryRatio() / float64(len(res.Epochs))
@@ -143,7 +159,9 @@ func F8(seed uint64) *Table {
 			"truth is the epoch's empirical per-attempt loss per link",
 		},
 	}
-	for _, bad := range []float64{120, 60, 30, 10} {
+	dwells := []float64{120, 60, 30, 10}
+	scs := make([]Scenario, len(dwells))
+	for i, bad := range dwells {
 		sc := DefaultScenario()
 		sc.Name = fmt.Sprintf("f8-%.0f", bad)
 		sc.Seed = seed
@@ -155,11 +173,15 @@ func F8(seed uint64) *Table {
 		}
 		sc.EpochLen = 400
 		sc.Epochs = 3
-		res := Run(sc)
+		scs[i] = sc
+	}
+	for i, res := range RunAll(scs) {
+		bad := dwells[i]
+		t.recordRuns(res)
 		// p90 of Dophy's absolute per-link error across epochs.
 		var errs []float64
 		for _, eo := range res.Epochs {
-			acc := Score(eo.Schemes[SchemeDophy], eo.Truth, sc.MinTruthAttempts)
+			acc := Score(eo.Schemes[SchemeDophy], eo.Truth, scs[i].MinTruthAttempts)
 			errs = append(errs, acc.Errors...)
 		}
 		p90 := 0.0
@@ -194,7 +216,9 @@ func F9(seed uint64) *Table {
 			"queue drops corrupt delivery ratios but not retransmission counts",
 		},
 	}
-	for _, gp := range []float64{5, 2, 1, 0.5} {
+	periods := []float64{5, 2, 1, 0.5}
+	scs := make([]Scenario, len(periods))
+	for i, gp := range periods {
 		sc := DefaultScenario()
 		sc.Name = fmt.Sprintf("f9-%.1f", gp)
 		sc.Seed = seed
@@ -203,7 +227,11 @@ func F9(seed uint64) *Table {
 		sc.Collect.QueueCap = 4
 		sc.EpochLen = 300
 		sc.Epochs = 3
-		res := Run(sc)
+		scs[i] = sc
+	}
+	for i, res := range RunAll(scs) {
+		gp := periods[i]
+		t.recordRuns(res)
 		var delivery, qdrops, generated float64
 		for _, eo := range res.Epochs {
 			delivery += eo.Truth.DeliveryRatio() / float64(len(res.Epochs))
@@ -239,7 +267,13 @@ func T7(seed uint64) *Table {
 			"receiver's first-delivery observation ignores; sender counts inflate loss",
 		},
 	}
-	for _, al := range []float64{0, 0.1, 0.2, 0.4} {
+	acks := []float64{0, 0.1, 0.2, 0.4}
+	type point struct {
+		row    []string
+		events uint64
+	}
+	for _, p := range Sweep(len(acks), func(i int) point {
+		al := acks[i]
 		sc := DefaultScenario()
 		sc.Name = fmt.Sprintf("t7-%.1f", al)
 		sc.Seed = seed
@@ -273,11 +307,17 @@ func T7(seed uint64) *Table {
 				sendMAE = append(sendMAE, sAcc.MAE)
 			}
 		}
-		t.Rows = append(t.Rows, []string{
-			f2(al),
-			f(stats.Mean(recvMAE)),
-			f(stats.Mean(sendMAE)),
-		})
+		return point{
+			row: []string{
+				f2(al),
+				f(stats.Mean(recvMAE)),
+				f(stats.Mean(sendMAE)),
+			},
+			events: sess.Events(),
+		}
+	}) {
+		t.Rows = append(t.Rows, p.row)
+		t.recordSession(p.events)
 	}
 	return t
 }
@@ -300,6 +340,7 @@ func T8(seed uint64) *Table {
 	sc.Epochs = 6
 	sc.EpochLen = 300
 	res := Run(sc)
+	t.recordRuns(res)
 	type bucket struct{ links, covered int }
 	buckets := map[string]*bucket{}
 	bucketOf := func(n int64) string {
@@ -367,43 +408,53 @@ func T9(seed uint64) *Table {
 			"pacing, not estimator noise, drives the comparison.",
 		},
 	}
-	for _, env := range []string{"static", "drift"} {
-		for _, adaptive := range []bool{false, true} {
-			sc := DefaultScenario()
-			sc.Name = fmt.Sprintf("t9-%s-%v", env, adaptive)
-			sc.Seed = seed
-			sc.Routing.Hysteresis = 3
-			sc.Routing.AlphaData = 0.05
-			sc.Routing.AlphaBeacon = 0.1
-			if env == "drift" {
-				sc.Radio = RadioSpec{Kind: RadioRandomWalk, WalkStep: 0.2, WalkEvery: 10}
-			}
-			if adaptive {
-				sc.Routing.AdaptiveBeacon = true
-				sc.Routing.BeaconMin = 4
-				sc.Routing.BeaconMax = 80
-				sc.Routing.TrickleReset = 1
-			}
-			sc.Epochs = 3
-			sc.EpochLen = 400
-			res := Run(sc)
-			label := "fixed-10s"
-			if adaptive {
-				label = "trickle"
-			}
-			var delivery float64
-			for _, eo := range res.Epochs {
-				delivery += eo.Truth.DeliveryRatio() / float64(len(res.Epochs))
-			}
-			perNode := float64(res.BeaconsSent) / float64(res.Topology.N()) / float64(sc.Epochs)
-			t.Rows = append(t.Rows, []string{
-				label,
-				env,
-				f1(perNode),
-				f(delivery),
-				f(res.MeanAccuracy(SchemeDophy).MAE),
-			})
+	type combo struct {
+		env      string
+		adaptive bool
+	}
+	combos := []combo{
+		{"static", false}, {"static", true},
+		{"drift", false}, {"drift", true},
+	}
+	scs := make([]Scenario, len(combos))
+	for i, c := range combos {
+		sc := DefaultScenario()
+		sc.Name = fmt.Sprintf("t9-%s-%v", c.env, c.adaptive)
+		sc.Seed = seed
+		sc.Routing.Hysteresis = 3
+		sc.Routing.AlphaData = 0.05
+		sc.Routing.AlphaBeacon = 0.1
+		if c.env == "drift" {
+			sc.Radio = RadioSpec{Kind: RadioRandomWalk, WalkStep: 0.2, WalkEvery: 10}
 		}
+		if c.adaptive {
+			sc.Routing.AdaptiveBeacon = true
+			sc.Routing.BeaconMin = 4
+			sc.Routing.BeaconMax = 80
+			sc.Routing.TrickleReset = 1
+		}
+		sc.Epochs = 3
+		sc.EpochLen = 400
+		scs[i] = sc
+	}
+	for i, res := range RunAll(scs) {
+		t.recordRuns(res)
+		label := "fixed-10s"
+		if combos[i].adaptive {
+			label = "trickle"
+		}
+		var delivery float64
+		for _, eo := range res.Epochs {
+			delivery += eo.Truth.DeliveryRatio() / float64(len(res.Epochs))
+		}
+		perNode := float64(res.BeaconsSent) / float64(res.Topology.N()) / float64(scs[i].Epochs)
+		t.Rows = append(t.Rows, []string{
+			label,
+			combos[i].env,
+			f1(perNode),
+			f(delivery),
+			f(res.MeanAccuracy(SchemeDophy).MAE),
+		})
 	}
 	return t
 }
@@ -421,7 +472,13 @@ func T10(seed uint64) *Table {
 			"the distributed bitstream is bit-identical to the sink-side path (verified per run)",
 		},
 	}
-	for _, side := range []int{5, 7, 10} {
+	sides := []int{5, 7, 10}
+	type point struct {
+		row    []string
+		events uint64
+	}
+	for _, p := range Sweep(len(sides), func(i int) point {
+		side := sides[i]
 		sc := DefaultScenario()
 		sc.Name = fmt.Sprintf("t10-%d", side)
 		sc.Seed = seed
@@ -454,14 +511,20 @@ func T10(seed uint64) *Table {
 		if packets > 0 {
 			bytesPerPkt = float64(annotBits) / 8 / float64(packets)
 		}
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%dx%d", side, side),
-			f2(bytesPerPkt),
-			fmt.Sprintf("%d", 12),
-			f1(float64(annotBits) / 8 / 1024 / float64(sc.Epochs)),
-			f1(float64(stateBits) / 8 / 1024 / float64(sc.Epochs)),
-			fmt.Sprintf("%v", identical),
-		})
+		return point{
+			row: []string{
+				fmt.Sprintf("%dx%d", side, side),
+				f2(bytesPerPkt),
+				fmt.Sprintf("%d", 12),
+				f1(float64(annotBits) / 8 / 1024 / float64(sc.Epochs)),
+				f1(float64(stateBits) / 8 / 1024 / float64(sc.Epochs)),
+				fmt.Sprintf("%v", identical),
+			},
+			events: sess.Events(),
+		}
+	}) {
+		t.Rows = append(t.Rows, p.row)
+		t.recordSession(p.events)
 	}
 	return t
 }
@@ -483,6 +546,7 @@ func T11(seed uint64) *Table {
 	sc.Seed = seed
 	sc.Epochs = 3
 	res := Run(sc)
+	t.recordRuns(res)
 	p := energy.DefaultParams()
 	for _, scheme := range overheadSchemes {
 		var txBits, extraBits, packets int64
@@ -521,7 +585,9 @@ func F10(seed uint64) *Table {
 			"but lags the drift, so tracking error grows with the decay factor",
 		},
 	}
-	for _, decay := range []float64{0, 0.3, 0.6, 0.9} {
+	decays := []float64{0, 0.3, 0.6, 0.9}
+	scs := make([]Scenario, len(decays))
+	for i, decay := range decays {
 		sc := DefaultScenario()
 		sc.Name = fmt.Sprintf("f10-%.1f", decay)
 		sc.Seed = seed
@@ -530,13 +596,16 @@ func F10(seed uint64) *Table {
 		sc.EpochLen = 60
 		sc.Epochs = 10
 		sc.Dophy.ObsDecay = decay
-		res := Run(sc)
+		scs[i] = sc
+	}
+	for i, res := range RunAll(scs) {
+		t.recordRuns(res)
 		acc := res.MeanAccuracy(SchemeDophy)
 		t.Rows = append(t.Rows, []string{
-			f2(decay),
+			f2(decays[i]),
 			f(acc.MAE),
 			f2(acc.Coverage),
-			f1(float64(acc.Links) / float64(sc.Epochs)),
+			f1(float64(acc.Links) / float64(scs[i].Epochs)),
 		})
 	}
 	return t

@@ -282,6 +282,9 @@ type RunResult struct {
 	Scenario Scenario
 	Topology *topo.Topology
 	Epochs   []*EpochOutcome
+	// Events is the simulator event count for the whole run (warmup
+	// included) — the denominator for events/sec throughput reporting.
+	Events uint64
 	// MeanPacketsPerEpoch is the mean delivered packets per epoch.
 	MeanPacketsPerEpoch float64
 	// ParentChangesPerNodePerEpoch measures routing dynamics.
@@ -395,6 +398,9 @@ func (s *Session) AttachAnnotator(a collect.Annotator) { s.nw.AttachAnnotator(a)
 // BeaconsSent exposes the routing protocol's control-plane transmissions.
 func (s *Session) BeaconsSent() int64 { return s.proto.BeaconsSent }
 
+// Events exposes the simulator's processed-event count so far.
+func (s *Session) Events() uint64 { return s.eng.Processed() }
+
 // RunEpoch advances the simulation one epoch and harvests every scheme.
 func (s *Session) RunEpoch() *EpochOutcome {
 	s.epoch++
@@ -433,6 +439,7 @@ func Run(sc Scenario) *RunResult {
 			float64(totalChanges) / float64(sc.Epochs) / math.Max(1, float64(s.tp.N()-1))
 	}
 	res.BeaconsSent = s.BeaconsSent()
+	res.Events = s.Events()
 	return res
 }
 

@@ -108,6 +108,9 @@ type Protocol struct {
 	nodes   []*nodeState
 	started bool
 	pending map[topo.NodeID]*sim.Event // extra beacons queued by scheduleNow
+	// beaconFns holds one prebuilt beacon handler per node, so periodic
+	// rescheduling does not allocate a fresh closure every beacon.
+	beaconFns []sim.Handler
 
 	BeaconsSent int64 // total beacon transmissions (protocol overhead)
 }
@@ -151,8 +154,10 @@ func (p *Protocol) Start() {
 		panic("routing: Start called twice")
 	}
 	p.started = true
+	p.beaconFns = make([]sim.Handler, len(p.nodes))
 	for i := range p.nodes {
 		id := topo.NodeID(i)
+		p.beaconFns[i] = func() { p.beacon(id) }
 		firstPeriod := p.cfg.BeaconPeriod
 		if p.cfg.AdaptiveBeacon {
 			p.nodes[i].interval = p.cfg.BeaconMin
@@ -160,7 +165,7 @@ func (p *Protocol) Start() {
 		}
 		// Desynchronise first beacons across the period.
 		first := sim.Time(p.r.Float64()) * firstPeriod
-		p.eng.Schedule(p.eng.Now()+first, func() { p.beacon(id) })
+		p.eng.Schedule(p.eng.Now()+first, p.beaconFns[i])
 	}
 }
 
@@ -212,7 +217,7 @@ func (p *Protocol) beacon(id topo.NodeID) {
 		}
 		ns.lastAdvETX = ns.pathETX
 	}
-	p.eng.After(p.jitteredPeriod(ns), func() { p.beacon(id) })
+	p.eng.After(p.jitteredPeriod(ns), p.beaconFns[id])
 }
 
 // receiveBeacon processes a beacon from neighbour 'from' at node 'at'.

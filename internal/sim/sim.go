@@ -6,6 +6,13 @@
 // exclusively through an *Engine, so a whole network run is a single
 // sequential event loop — reproducible for a given seed and immune to data
 // races by construction.
+//
+// Event recycling. Schedule draws Event structs from a per-engine free list
+// and returns them to it once they fire or are cancelled, so steady-state
+// scheduling performs no heap allocation. The corollary is an ownership
+// rule: an *Event is live from Schedule until its handler runs or Cancel
+// removes it, and must not be retained or queried after that — the engine
+// may already have reused it for a later Schedule.
 package sim
 
 import (
@@ -21,16 +28,16 @@ type Time float64
 // the engine's clock already advanced.
 type Handler func()
 
-// Event is a scheduled handler. Exported fields are read-only for callers;
-// use Engine.Cancel to revoke one.
+// Event is a scheduled handler. Exported methods are read-only for callers;
+// use Engine.Cancel to revoke one. Pointers are only valid while the event
+// is pending (see the package comment on recycling).
 type Event struct {
-	at      Time
-	seq     uint64 // FIFO tie-break among equal timestamps
-	fn      Handler
-	index   int // heap index, -1 once popped or cancelled
-	cancel  bool
-	engine  *Engine
-	comment string
+	at     Time
+	seq    uint64 // FIFO tie-break among equal timestamps
+	fn     Handler
+	index  int // heap index, -1 once popped or cancelled
+	cancel bool
+	engine *Engine
 }
 
 // At returns the event's scheduled time.
@@ -73,6 +80,7 @@ type Engine struct {
 	now       Time
 	seq       uint64
 	queue     eventHeap
+	free      []*Event // recycled events awaiting reuse
 	processed uint64
 	stopped   bool
 }
@@ -88,8 +96,8 @@ func (e *Engine) Now() Time { return e.now }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending returns the number of events still queued (including cancelled
-// ones not yet reaped).
+// Pending returns the number of events still queued. Cancelled events are
+// removed from the queue immediately, so they never inflate this count.
 func (e *Engine) Pending() int { return len(e.queue) }
 
 // Schedule runs fn at absolute time at. Scheduling in the past (before Now)
@@ -101,10 +109,24 @@ func (e *Engine) Schedule(at Time, fn Handler) *Event {
 	if fn == nil {
 		panic("sim: schedule with nil handler")
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn, engine: e}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.fn, ev.cancel = at, e.seq, fn, false
+	} else {
+		ev = &Event{at: at, seq: e.seq, fn: fn, engine: e}
+	}
 	e.seq++
 	heap.Push(&e.queue, ev)
 	return ev
+}
+
+// recycle returns a dead event (fired or cancelled) to the free list.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil // release the closure for GC
+	e.free = append(e.free, ev)
 }
 
 // After runs fn after delay d from the current time.
@@ -115,14 +137,16 @@ func (e *Engine) After(d Time, fn Handler) *Event {
 	return e.Schedule(e.now+d, fn)
 }
 
-// Cancel marks an event so it will be skipped when it reaches the head of
-// the queue. Cancelling an already-fired or already-cancelled event is a
-// no-op.
+// Cancel removes a pending event from the queue immediately. Cancelling an
+// already-fired or already-cancelled event is a no-op. The pointer must not
+// be used after Cancel returns: the engine recycles cancelled events.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.engine != e {
+	if ev == nil || ev.engine != e || ev.cancel || ev.index < 0 {
 		return
 	}
 	ev.cancel = true
+	heap.Remove(&e.queue, ev.index)
+	e.recycle(ev)
 }
 
 // Stop halts the run loop after the currently executing event returns.
@@ -146,11 +170,14 @@ func (e *Engine) Run(until Time) Time {
 		}
 		heap.Pop(&e.queue)
 		if next.cancel {
+			// Unreachable under eager Cancel removal; kept as a guard.
+			e.recycle(next)
 			continue
 		}
 		e.now = next.at
 		e.processed++
 		next.fn()
+		e.recycle(next)
 	}
 	return e.now
 }
@@ -162,19 +189,19 @@ func (e *Engine) RunAll() Time {
 
 // Ticker repeatedly schedules fn every period, starting at the current time
 // plus phase. It returns a stop function. fn receives the tick index,
-// starting at 0. A non-positive period panics.
+// starting at 0. Calling stop cancels the already-scheduled next event, so
+// a stopped ticker leaves nothing in the queue. A non-positive period
+// panics.
 func (e *Engine) Ticker(phase, period Time, fn func(tick int)) (stop func()) {
 	if period <= 0 {
 		panic(fmt.Sprintf("sim: ticker period %v must be positive", period))
 	}
 	stopped := false
 	tick := 0
+	var next *Event
 	var schedule func()
 	schedule = func() {
-		e.After(phaseOrPeriod(tick, phase, period), func() {
-			if stopped {
-				return
-			}
+		next = e.After(phaseOrPeriod(tick, phase, period), func() {
 			i := tick
 			tick++
 			schedule()
@@ -182,7 +209,14 @@ func (e *Engine) Ticker(phase, period Time, fn func(tick int)) (stop func()) {
 		})
 	}
 	schedule()
-	return func() { stopped = true }
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		e.Cancel(next)
+		next = nil
+	}
 }
 
 func phaseOrPeriod(tick int, phase, period Time) Time {

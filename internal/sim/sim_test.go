@@ -94,8 +94,97 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	if !ev.Cancelled() {
-		t.Fatal("Cancelled() = false after Cancel")
+}
+
+func TestCancelRemovesFromQueueEagerly(t *testing.T) {
+	e := New()
+	keep := e.Schedule(1, func() {})
+	drop := e.Schedule(2, func() {})
+	e.Cancel(drop)
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d after cancel, want 1 (eager removal)", e.Pending())
+	}
+	e.Cancel(drop) // second cancel of a dead event: no-op
+	if e.Pending() != 1 {
+		t.Fatalf("double cancel disturbed the queue: Pending() = %d", e.Pending())
+	}
+	_ = keep
+	e.RunAll()
+	if e.Processed() != 1 {
+		t.Fatalf("Processed() = %d, want 1", e.Processed())
+	}
+}
+
+func TestCancelMidHeapKeepsOrder(t *testing.T) {
+	e := New()
+	var got []Time
+	evs := make([]*Event, 0, 10)
+	for i := 1; i <= 10; i++ {
+		at := Time(i)
+		evs = append(evs, e.Schedule(at, func() { got = append(got, at) }))
+	}
+	// Cancel from the middle of the heap; remaining events must still fire
+	// in time order.
+	e.Cancel(evs[4])
+	e.Cancel(evs[7])
+	e.RunAll()
+	if len(got) != 8 {
+		t.Fatalf("fired %d events, want 8", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events out of order after mid-heap cancel: %v", got)
+	}
+	for _, at := range got {
+		if at == 5 || at == 8 {
+			t.Fatalf("cancelled event at %v fired", at)
+		}
+	}
+}
+
+func TestEventRecycling(t *testing.T) {
+	e := New()
+	first := e.Schedule(1, func() {})
+	e.RunAll()
+	second := e.Schedule(2, func() {})
+	if first != second {
+		t.Fatal("fired event was not recycled by the next Schedule")
+	}
+	e.RunAll()
+
+	cancelled := e.Schedule(3, func() {})
+	e.Cancel(cancelled)
+	reused := e.Schedule(4, func() {})
+	if cancelled != reused {
+		t.Fatal("cancelled event was not recycled by the next Schedule")
+	}
+	if reused.Cancelled() {
+		t.Fatal("recycled event still marked cancelled")
+	}
+	fired := false
+	reused.fn = func() { fired = true }
+	e.RunAll()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+func TestScheduleSteadyStateAllocs(t *testing.T) {
+	e := New()
+	// Warm the free list and the heap's backing array.
+	for i := 0; i < 64; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.RunAll()
+	base := e.Now()
+	allocs := testing.AllocsPerRun(100, func() {
+		base++
+		e.Schedule(base, func() {})
+		e.RunAll()
+	})
+	// One closure allocation per iteration is inherent to the func literal
+	// above; the Event itself must come from the free list.
+	if allocs > 1 {
+		t.Fatalf("schedule/run cycle allocates %.1f objects, want <= 1", allocs)
 	}
 }
 
@@ -214,6 +303,25 @@ func TestTickerStopPreventsFutureTicks(t *testing.T) {
 	e.Run(10)
 	if count != 2 {
 		t.Fatalf("ticker fired %d times after stop at 2", count)
+	}
+}
+
+func TestTickerStopCancelsQueuedEvent(t *testing.T) {
+	e := New()
+	stop := e.Ticker(1, 1, func(int) {})
+	e.Run(2.5)
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d mid-ticker, want 1", e.Pending())
+	}
+	stop()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after stop, want 0 (next tick not cancelled)", e.Pending())
+	}
+	stop() // idempotent
+	before := e.Processed()
+	e.RunAll()
+	if e.Processed() != before {
+		t.Fatal("stopped ticker still processed events")
 	}
 }
 
