@@ -11,6 +11,12 @@
 //	dophy-bench -seed 42        # change the base seed
 //	dophy-bench -workers 4      # cap the scenario-sweep worker pool
 //	dophy-bench -list           # list experiment ids
+//	dophy-bench -compare BENCH_linux-amd64.json
+//	                            # rerun and exit nonzero on a perf regression
+//	                            # (>15% wall-clock or >10% allocs/op per
+//	                            # experiment; tune with -max-wall-regress /
+//	                            # -max-allocs-regress; allocs gate needs
+//	                            # -parallel 1 baselines on both sides)
 package main
 
 import (
@@ -49,6 +55,10 @@ type benchExperiment struct {
 	SimEvents uint64  `json:"sim_events"`
 	EventsPS  float64 `json:"sim_events_per_second"`
 	Rows      int     `json:"rows"`
+	// Mallocs is the experiment's own allocation count. Only attributable
+	// when experiments run sequentially, so it is recorded at -parallel 1
+	// and omitted otherwise (older reports lack it entirely).
+	Mallocs uint64 `json:"mallocs,omitempty"`
 }
 
 func main() {
@@ -60,6 +70,9 @@ func main() {
 		listFlag = flag.Bool("list", false, "list experiment ids and exit")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "experiments to run concurrently (1 = sequential)")
 		workers  = flag.Int("workers", 0, "scenario-sweep worker pool size (0 = NumCPU)")
+		compare  = flag.String("compare", "", "previous -json report to diff against; exits nonzero on regression")
+		maxWall  = flag.Float64("max-wall-regress", 0.15, "per-experiment wall-clock regression tolerance for -compare")
+		maxAlloc = flag.Float64("max-allocs-regress", 0.10, "per-experiment allocs-per-run regression tolerance for -compare")
 	)
 	flag.Parse()
 
@@ -76,13 +89,12 @@ func main() {
 	want := map[string]bool{}
 	if *expFlag != "" {
 		for _, id := range strings.Split(*expFlag, ",") {
-			want[strings.ToUpper(strings.TrimSpace(id))] = true
-		}
-		for id := range want {
+			id = strings.ToUpper(strings.TrimSpace(id))
 			if !knownID(registry, id) {
 				fmt.Fprintf(os.Stderr, "dophy-bench: unknown experiment %q (use -list)\n", id)
 				os.Exit(2)
 			}
+			want[id] = true
 		}
 	}
 
@@ -95,7 +107,7 @@ func main() {
 	}
 
 	var memBefore runtime.MemStats
-	if *jsonFlag {
+	if *jsonFlag || *compare != "" {
 		runtime.GC()
 		runtime.ReadMemStats(&memBefore)
 	}
@@ -113,6 +125,7 @@ func main() {
 	type outcome struct {
 		table   *experiment.Table
 		elapsed time.Duration
+		mallocs uint64
 	}
 	results := make([]outcome, len(selected))
 	sem := make(chan struct{}, expWorkers)
@@ -123,14 +136,25 @@ func main() {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			// Per-experiment allocation counts are only attributable when
+			// experiments run one at a time.
+			var before runtime.MemStats
+			if expWorkers == 1 {
+				runtime.ReadMemStats(&before)
+			}
 			start := time.Now()
 			results[i] = outcome{table: r.Run(*seedFlag), elapsed: time.Since(start)}
+			if expWorkers == 1 {
+				var after runtime.MemStats
+				runtime.ReadMemStats(&after)
+				results[i].mallocs = after.Mallocs - before.Mallocs
+			}
 		}(i, r)
 	}
 	wg.Wait()
 	totalWall := time.Since(wallStart)
 
-	if *jsonFlag {
+	if *jsonFlag || *compare != "" {
 		rep := benchReport{
 			Seed:       *seedFlag,
 			Parallel:   expWorkers,
@@ -152,6 +176,7 @@ func main() {
 				SimEvents: res.table.SimEvents,
 				EventsPS:  eps,
 				Rows:      len(res.table.Rows),
+				Mallocs:   res.mallocs,
 			})
 			rep.TotalEvents += res.table.SimEvents
 		}
@@ -159,11 +184,23 @@ func main() {
 		runtime.ReadMemStats(&memAfter)
 		rep.AllocBytes = memAfter.TotalAlloc - memBefore.TotalAlloc
 		rep.Mallocs = memAfter.Mallocs - memBefore.Mallocs
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
-			fmt.Fprintf(os.Stderr, "dophy-bench: %v\n", err)
-			os.Exit(1)
+		if *jsonFlag {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				fmt.Fprintf(os.Stderr, "dophy-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *compare != "" {
+			old, err := loadReport(*compare)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dophy-bench: -compare: %v\n", err)
+				os.Exit(2)
+			}
+			if !compareReports(os.Stderr, old, &rep, *maxWall, *maxAlloc) {
+				os.Exit(1)
+			}
 		}
 		return
 	}
@@ -176,6 +213,79 @@ func main() {
 			fmt.Printf("[%s completed in %.1fs]\n\n", selected[i].ID, res.elapsed.Seconds())
 		}
 	}
+}
+
+func loadReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// minCompareWallS filters out timing noise: experiments faster than this in
+// the baseline are never failed on wall-clock (a 30ms run jittering to 40ms
+// is not a regression worth gating on).
+const minCompareWallS = 0.25
+
+// compareReports diffs the fresh report against a baseline, experiment by
+// experiment (matched on ID), and reports whether the run is within the
+// given tolerances. Fields the baseline lacks — per-experiment mallocs from
+// pre-compare report formats, or experiments that are new — are skipped
+// rather than failed, so old BENCH_*.json files stay usable.
+func compareReports(out *os.File, old, cur *benchReport, maxWall, maxAlloc float64) bool {
+	byID := map[string]*benchExperiment{}
+	for i := range old.Experiments {
+		byID[old.Experiments[i].ID] = &old.Experiments[i]
+	}
+	ok := true
+	fmt.Fprintf(out, "dophy-bench: comparing against baseline (seed %d, %s, parallel %d)\n",
+		old.Seed, old.GoVersion, old.Parallel)
+	for i := range cur.Experiments {
+		ne := &cur.Experiments[i]
+		oe := byID[ne.ID]
+		if oe == nil {
+			fmt.Fprintf(out, "  %-4s new experiment, no baseline — skipped\n", ne.ID)
+			continue
+		}
+		verdict := "ok"
+		if oe.WallS >= minCompareWallS {
+			if rel := ne.WallS/oe.WallS - 1; rel > maxWall {
+				verdict = fmt.Sprintf("WALL REGRESSION (+%.1f%% > %.0f%%)", 100*rel, 100*maxWall)
+				ok = false
+			}
+		}
+		// Allocs are compared per simulation run so baselines taken with a
+		// different -exp subset or run count still line up.
+		if oe.Mallocs > 0 && ne.Mallocs > 0 && oe.Runs > 0 && ne.Runs > 0 {
+			oa := float64(oe.Mallocs) / float64(oe.Runs)
+			na := float64(ne.Mallocs) / float64(ne.Runs)
+			if rel := na/oa - 1; rel > maxAlloc {
+				verdict = fmt.Sprintf("ALLOC REGRESSION (+%.1f%% > %.0f%%)", 100*rel, 100*maxAlloc)
+				ok = false
+			}
+		}
+		wallDelta := 0.0
+		if oe.WallS > 0 {
+			wallDelta = 100 * (ne.WallS/oe.WallS - 1)
+		}
+		fmt.Fprintf(out, "  %-4s wall %6.2fs -> %6.2fs (%+6.1f%%)  %s\n",
+			ne.ID, oe.WallS, ne.WallS, wallDelta, verdict)
+	}
+	if cur.Parallel != 1 || old.Parallel != 1 {
+		fmt.Fprintf(out, "  note: per-experiment allocs only gate at -parallel 1 on both sides\n")
+	}
+	if ok {
+		fmt.Fprintf(out, "dophy-bench: no regressions beyond tolerances (wall %.0f%%, allocs %.0f%%)\n",
+			100*maxWall, 100*maxAlloc)
+	} else {
+		fmt.Fprintf(out, "dophy-bench: REGRESSION detected\n")
+	}
+	return ok
 }
 
 func knownID(rs []experiment.Runner, id string) bool {

@@ -1,0 +1,96 @@
+// Command dophy-lint statically enforces the repo's determinism and
+// ownership invariants (see DESIGN.md, "Determinism & invariants").
+//
+// Usage:
+//
+//	go run ./cmd/dophy-lint ./...
+//
+// It loads every package in the module twice — once with the default tag
+// set and once with the dophy_invariants tag, so both variants of the
+// build-gated files are linted — and exits nonzero if any rule fires.
+// Individual sites can be waived with a justified pragma:
+//
+//	//dophy:allow <rule> -- <why this site is legitimately exempt>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dophy/internal/lint"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "also print type-checker errors (analysis is best-effort despite them)")
+	root := flag.String("root", "", "module root to lint (default: walk up from cwd to go.mod)")
+	flag.Parse()
+
+	dir := *root
+	if dir == "" {
+		var err error
+		dir, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dophy-lint:", err)
+			os.Exit(2)
+		}
+	}
+	// Non-flag args are accepted for familiarity (./...) but the engine
+	// always lints the whole module; anything narrower would miss
+	// cross-package rules like poolescape.
+	for _, arg := range flag.Args() {
+		if arg != "./..." && arg != "." {
+			fmt.Fprintf(os.Stderr, "dophy-lint: ignoring %q (whole-module analysis only)\n", arg)
+		}
+	}
+
+	seen := map[string]bool{}
+	var diags []lint.Diagnostic
+	for _, tags := range [][]string{nil, {"dophy_invariants"}} {
+		mod, err := lint.Load(dir, lint.LoadConfig{Tags: tags})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dophy-lint:", err)
+			os.Exit(2)
+		}
+		if *verbose {
+			for _, pkg := range mod.Packages {
+				for _, terr := range pkg.TypeErrors {
+					fmt.Fprintf(os.Stderr, "dophy-lint: typecheck [%s]: %v\n", strings.Join(tags, ","), terr)
+				}
+			}
+		}
+		for _, d := range mod.Run(lint.AllRules()) {
+			if key := d.String(); !seen[key] {
+				seen[key] = true
+				diags = append(diags, d)
+			}
+		}
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dophy-lint: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the enclosing go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -43,7 +43,19 @@ func main() {
 	var alerts []alert
 	for epoch := 0; epoch < 3; epoch++ {
 		rep := sim.RunEpoch()
-		for l, est := range rep.Estimates {
+		links := make([]dophy.Link, 0, len(rep.Estimates))
+		for l := range rep.Estimates {
+			links = append(links, l)
+		}
+		sort.Slice(links, func(i, j int) bool {
+			a, b := links[i], links[j]
+			if a.From != b.From {
+				return a.From < b.From
+			}
+			return a.To < b.To
+		})
+		for _, l := range links {
+			est := rep.Estimates[l]
 			if est.StdErr == 0 || est.Samples < 30 {
 				continue // not enough evidence either way
 			}
@@ -54,7 +66,18 @@ func main() {
 			}
 		}
 	}
-	sort.Slice(alerts, func(i, j int) bool { return alerts[i].est.Loss > alerts[j].est.Loss })
+	// Stable ordering: worst first, then by link so equal losses (and the
+	// alert log as a whole) print identically on every run.
+	sort.Slice(alerts, func(i, j int) bool {
+		a, b := alerts[i], alerts[j]
+		if a.est.Loss != b.est.Loss {
+			return a.est.Loss > b.est.Loss
+		}
+		if a.link.From != b.link.From {
+			return a.link.From < b.link.From
+		}
+		return a.link.To < b.link.To
+	})
 
 	fmt.Printf("%-10s  %-18s  %-8s  %s\n", "link", "estimate (95% CI)", "true", "samples")
 	truePositives := 0

@@ -42,11 +42,32 @@ func main() {
 		link dophy.Link
 		est  dophy.LinkEstimate
 	}
-	var rows []row
-	for l, e := range report.Estimates {
-		rows = append(rows, row{l, e})
+	links := make([]dophy.Link, 0, len(report.Estimates))
+	for l := range report.Estimates {
+		links = append(links, l)
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].est.Loss > rows[j].est.Loss })
+	sort.Slice(links, func(i, j int) bool {
+		a, b := links[i], links[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+	rows := make([]row, 0, len(links))
+	for _, l := range links {
+		rows = append(rows, row{l, report.Estimates[l]})
+	}
+	// Worst first, link order breaking ties so the top-10 cut is stable.
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.est.Loss != b.est.Loss {
+			return a.est.Loss > b.est.Loss
+		}
+		if a.link.From != b.link.From {
+			return a.link.From < b.link.From
+		}
+		return a.link.To < b.link.To
+	})
 	if len(rows) > 10 {
 		rows = rows[:10]
 	}

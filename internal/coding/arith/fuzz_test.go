@@ -1,0 +1,82 @@
+package arith
+
+import (
+	"bytes"
+	"testing"
+
+	"dophy/internal/coding/model"
+)
+
+// fuzzStream interprets fuzz data as (alphabet size, frequency table,
+// symbol stream): byte 0 picks n in [2,16], the next n bytes give strictly
+// positive model frequencies, and the rest are symbols mod n.
+func fuzzStream(data []byte) (*model.Static, []int, bool) {
+	if len(data) < 3 {
+		return nil, nil, false
+	}
+	n := 2 + int(data[0])%15
+	if len(data) < 1+n {
+		return nil, nil, false
+	}
+	freq := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		freq[i] = 1 + uint32(data[1+i])
+	}
+	rest := data[1+n:]
+	syms := make([]int, len(rest))
+	for i, b := range rest {
+		syms[i] = int(b) % n
+	}
+	return model.NewStatic(freq), syms, true
+}
+
+// retxSeed builds a seed corpus entry shaped like a real retransmission-
+// count stream: a heavily zero-skewed model and a symbol stream where most
+// hops deliver on the first attempt, a few need one or two retries, and a
+// rare burst hits the tail.
+func retxSeed(n int, pattern []byte) []byte {
+	seed := []byte{byte(n - 2)} // decodes back to alphabet size n
+	// Geometric-ish frequency table: 200, 100, 50, ...
+	w := byte(200)
+	for i := 0; i < n; i++ {
+		seed = append(seed, w)
+		w /= 2
+	}
+	return append(seed, pattern...)
+}
+
+func FuzzArithRoundtrip(f *testing.F) {
+	// Typical epoch: ~85% zero-retransmission hops, occasional retries.
+	f.Add(retxSeed(4, []byte{0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 2, 0, 0, 1, 0, 0, 0, 0, 0, 0}))
+	// Bursty link: a clustered run of high counts mid-stream.
+	f.Add(retxSeed(8, []byte{0, 0, 0, 5, 6, 7, 7, 4, 0, 0, 0, 0, 1, 0, 0, 0}))
+	// Degenerate: every hop clean (the common steady-state epoch).
+	f.Add(retxSeed(3, bytes.Repeat([]byte{0}, 64)))
+	// Adversarial-ish: max-count tail symbols only.
+	f.Add(retxSeed(16, bytes.Repeat([]byte{15}, 32)))
+	// Empty symbol stream: encoder must still produce a decodable tail.
+	f.Add(retxSeed(5, nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, syms, ok := fuzzStream(data)
+		if !ok {
+			t.Skip()
+		}
+		encoded, bits := EncodeAll(m, syms)
+		if got, want := len(encoded), (bits+7)/8; got != want {
+			t.Fatalf("EncodeAll returned %d bytes for %d bits", got, want)
+		}
+		decoded, err := DecodeAll(m, encoded, len(syms))
+		if err != nil {
+			t.Fatalf("DecodeAll(%d symbols): %v", len(syms), err)
+		}
+		if len(decoded) != len(syms) {
+			t.Fatalf("decoded %d symbols, want %d", len(decoded), len(syms))
+		}
+		for i := range syms {
+			if decoded[i] != syms[i] {
+				t.Fatalf("symbol %d: decoded %d, want %d", i, decoded[i], syms[i])
+			}
+		}
+	})
+}

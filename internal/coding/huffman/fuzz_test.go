@@ -1,0 +1,83 @@
+package huffman
+
+import (
+	"bytes"
+	"testing"
+
+	"dophy/internal/coding/bitio"
+)
+
+// fuzzStream interprets fuzz data as (alphabet size, frequency table,
+// symbol stream): byte 0 picks n in [1,16], the next n bytes give strictly
+// positive frequencies, and the rest are symbols mod n.
+func fuzzStream(data []byte) ([]uint32, []int, bool) {
+	if len(data) < 2 {
+		return nil, nil, false
+	}
+	n := 1 + int(data[0])%16
+	if len(data) < 1+n {
+		return nil, nil, false
+	}
+	freq := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		freq[i] = 1 + uint32(data[1+i])
+	}
+	rest := data[1+n:]
+	syms := make([]int, len(rest))
+	for i, b := range rest {
+		syms[i] = int(b) % n
+	}
+	return freq, syms, true
+}
+
+// retxSeed mirrors the arith fuzz seeds: a zero-skewed geometric frequency
+// table (the shape real per-hop retransmission counts have) followed by a
+// symbol stream.
+func retxSeed(n int, pattern []byte) []byte {
+	seed := []byte{byte(n - 1)}
+	w := byte(200)
+	for i := 0; i < n; i++ {
+		seed = append(seed, w)
+		w /= 2
+	}
+	return append(seed, pattern...)
+}
+
+func FuzzHuffmanRoundtrip(f *testing.F) {
+	// Typical epoch stream: mostly first-attempt deliveries.
+	f.Add(retxSeed(8, []byte{0, 0, 0, 0, 1, 0, 0, 2, 0, 0, 0, 0, 0, 3, 0, 0, 1, 0}))
+	// Bursty link: clustered retries.
+	f.Add(retxSeed(8, []byte{0, 0, 5, 6, 7, 7, 4, 0, 0, 1}))
+	// All-clean epoch.
+	f.Add(retxSeed(4, bytes.Repeat([]byte{0}, 64)))
+	// Single-symbol alphabet (degenerate 1-bit code).
+	f.Add(retxSeed(1, []byte{0, 0, 0, 0}))
+	// Flat worst case for a prefix code.
+	f.Add(retxSeed(16, []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		freq, syms, ok := fuzzStream(data)
+		if !ok {
+			t.Skip()
+		}
+		code := Build(freq)
+		w := bitio.NewWriter()
+		wantBits := 0
+		for _, s := range syms {
+			wantBits += code.Encode(w, s)
+		}
+		if w.Bits() != wantBits {
+			t.Fatalf("writer holds %d bits, Encode reported %d", w.Bits(), wantBits)
+		}
+		r := bitio.NewReader(w.Bytes())
+		for i, want := range syms {
+			got, err := code.Decode(r)
+			if err != nil {
+				t.Fatalf("symbol %d: %v", i, err)
+			}
+			if got != want {
+				t.Fatalf("symbol %d: decoded %d, want %d", i, got, want)
+			}
+		}
+	})
+}

@@ -117,6 +117,9 @@ var _ Router = (*routing.Protocol)(nil)
 
 // Network wires the layers together for one simulated deployment.
 type Network struct {
+	// inv carries the build-tag-gated journey/queue audits; a zero-size
+	// no-op in the default build (see invariants_off.go).
+	inv        netInvariants
 	cfg        Config
 	eng        *sim.Engine
 	tp         *topo.Topology
@@ -247,9 +250,11 @@ func (n *Network) release(at topo.NodeID) {
 		next := n.queues[at][0]
 		n.queues[at] = n.queues[at][1:]
 		n.transmit(at, next)
+		n.inv.onRelease(n, at)
 		return
 	}
 	n.busy[at] = false
+	n.inv.onRelease(n, at)
 }
 
 // hopCont is a pooled continuation for the post-hop delay: it stands in for
@@ -330,6 +335,7 @@ func (n *Network) finish(j *PacketJourney, reason DropReason) {
 	j.Completed = n.eng.Now()
 	j.Drop = reason
 	j.Delivered = reason == NotDropped
+	n.inv.onFinish(n, j)
 	if n.rec != nil {
 		if j.Delivered {
 			n.rec.Delivered++

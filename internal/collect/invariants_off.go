@@ -1,0 +1,11 @@
+//go:build !dophy_invariants
+
+package collect
+
+import "dophy/internal/topo"
+
+// netInvariants is the no-op variant; see invariants_on.go for the checks.
+type netInvariants struct{}
+
+func (netInvariants) onFinish(*Network, *PacketJourney) {}
+func (netInvariants) onRelease(*Network, topo.NodeID)   {}

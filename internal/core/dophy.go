@@ -177,6 +177,9 @@ func (r *EpochReport) SortedLinks() []topo.Link {
 
 // Dophy is the sink-side engine plus the (simulated) in-network annotators.
 type Dophy struct {
+	// inv carries the build-tag-gated conservation checks; a zero-size
+	// no-op in the default build (see invariants_off.go).
+	inv coreInvariants
 	tp  *topo.Topology
 	cfg Config
 	agg model.Aggregator
@@ -199,14 +202,14 @@ type Dophy struct {
 	// time), so reuse is safe and keeps the per-packet hot path free of
 	// heap allocations. The slices returned by encode/decode alias these
 	// buffers and are only valid until the next call.
-	encWriter  *bitio.Writer
-	encCoder   *arith.Encoder
-	decReader  *bitio.Reader
-	decCoder   *arith.Decoder
-	prefixBuf  []int
-	dataBuf    []byte
-	linkBuf    []topo.Link
-	countBuf   []int
+	encWriter *bitio.Writer
+	encCoder  *arith.Encoder
+	decReader *bitio.Reader
+	decCoder  *arith.Decoder
+	prefixBuf []int
+	dataBuf   []byte
+	linkBuf   []topo.Link
+	countBuf  []int
 }
 
 // New builds a Dophy engine over the given topology.
@@ -317,6 +320,7 @@ func (d *Dophy) OnJourney(j *collect.PacketJourney) int {
 
 // accumulate folds decoded hop records into the per-epoch observations.
 func (d *Dophy) accumulate(hops []topo.Link, counts []int) {
+	d.inv.onAccumulate(len(hops))
 	for i, l := range hops {
 		sym := counts[i]
 		d.symbolWindow[sym]++
@@ -416,6 +420,7 @@ func neighborIndex(tp *topo.Topology, from, to topo.NodeID) int {
 // per-epoch accumulators.
 func (d *Dophy) EndEpoch() *EpochReport {
 	d.epoch++
+	d.inv.onEndEpoch(d)
 	rep := &EpochReport{
 		Epoch:        d.epoch,
 		Links:        make(map[topo.Link]LinkEstimate, len(d.linkObs)),
@@ -446,6 +451,7 @@ func (d *Dophy) EndEpoch() *EpochReport {
 		for i := range d.symbolWindow {
 			d.symbolWindow[i] = 0
 		}
+		d.inv.onWindowReset()
 	}
 	if d.cfg.HopModelUpdateEvery > 0 && d.epoch%d.cfg.HopModelUpdateEvery == 0 {
 		rep.Overhead.DisseminationBits += d.updateHopModels()
@@ -461,6 +467,7 @@ func (d *Dophy) EndEpoch() *EpochReport {
 	} else {
 		d.linkObs = make(map[topo.Link]*geomle.Obs)
 	}
+	d.inv.onEpochReset(d)
 	d.overhead = Overhead{}
 	d.decodeErrors = 0
 	return rep

@@ -1,0 +1,12 @@
+//go:build !dophy_invariants
+
+package core
+
+// coreInvariants is the no-op variant; see invariants_on.go for the
+// conservation checks.
+type coreInvariants struct{}
+
+func (coreInvariants) onAccumulate(int)    {}
+func (coreInvariants) onEndEpoch(*Dophy)   {}
+func (coreInvariants) onWindowReset()      {}
+func (coreInvariants) onEpochReset(*Dophy) {}

@@ -1,0 +1,59 @@
+//go:build dophy_invariants
+
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// coreInvariants enforces retransmission-count conservation at the sink:
+// every hop record that survives decoding and cross-checking contributes
+// exactly one observation, so at each epoch boundary the per-link
+// observation totals and the shared-model symbol window must both sum to
+// the number of accumulated hop records. A mismatch means decoded counts
+// were dropped, duplicated, or misattributed between decode and estimate.
+type coreInvariants struct {
+	epochHops  float64 // hop records accumulated since the last epoch reset
+	windowHops uint64  // hop records since the last model-update window reset
+}
+
+func (iv *coreInvariants) onAccumulate(nHops int) {
+	iv.epochHops += float64(nHops)
+	iv.windowHops += uint64(nHops)
+}
+
+func (iv *coreInvariants) onEndEpoch(d *Dophy) {
+	if got := windowTotal(d.symbolWindow); got != iv.windowHops {
+		panic(fmt.Sprintf("core: invariant violated: symbol window holds %d observations, %d hop records were decoded",
+			got, iv.windowHops))
+	}
+	if d.cfg.ObsDecay != 0 {
+		// Exponential forgetting carries fractional mass across epochs; the
+		// per-epoch balance below is only closed-form for pure windows.
+		return
+	}
+	var total float64
+	for _, obs := range d.linkObs {
+		total += obs.Total()
+	}
+	if math.Abs(total-iv.epochHops) > 1e-6*(1+iv.epochHops) {
+		panic(fmt.Sprintf("core: invariant violated: link observations sum to %g, %g hop records were decoded this epoch",
+			total, iv.epochHops))
+	}
+}
+
+func (iv *coreInvariants) onWindowReset() { iv.windowHops = 0 }
+
+func (iv *coreInvariants) onEpochReset(d *Dophy) {
+	if d.cfg.ObsDecay == 0 {
+		iv.epochHops = 0
+		return
+	}
+	// Decayed estimators keep (decayed) history; just resynchronise the
+	// counter with what actually survived the boundary.
+	iv.epochHops = 0
+	for _, obs := range d.linkObs {
+		iv.epochHops += obs.Total()
+	}
+}

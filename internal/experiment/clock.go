@@ -6,7 +6,12 @@ import (
 	"dophy/internal/sim"
 )
 
-// timeNow is indirected for tests.
+// timeNow is indirected for tests. This is the module's single sanctioned
+// wall-clock read inside the simulation tree: experiment T4 reports
+// sim-seconds-per-wall-second, so the wall clock is the quantity being
+// measured, not an input to any simulated outcome.
+//
+//dophy:allow nowalltime -- T4 measures wall-clock throughput; never feeds sim state
 var timeNow = time.Now
 
 // simTimeAlias lets extension experiments write durations without importing

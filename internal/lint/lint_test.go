@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"testing"
+)
+
+// wantRe matches an expected-diagnostic comment: // want "substring"
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+// TestFixtures lints the fixture module under testdata/src and checks the
+// produced diagnostics against the // want annotations: every annotation
+// must be hit and no unannotated diagnostic may appear.
+func TestFixtures(t *testing.T) {
+	mod, err := Load("testdata/src", LoadConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := mod.Run(AllRules())
+
+	type want struct {
+		substr  string
+		matched bool
+	}
+	wants := map[string][]*want{} // "file:line" -> expectations
+	for _, pkg := range mod.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.AST.Comments {
+				for _, c := range cg.List {
+					sub := wantRe.FindStringSubmatch(c.Text)
+					if sub == nil {
+						continue
+					}
+					pos := mod.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					wants[key] = append(wants[key], &want{substr: sub[1]})
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatal("no // want annotations found in fixtures")
+	}
+
+	rulesFired := map[string]bool{}
+	for _, d := range diags {
+		rulesFired[d.Rule] = true
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && regexp.MustCompile(regexp.QuoteMeta(w.substr)).MatchString(d.Msg) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic containing %q, got none", key, w.substr)
+			}
+		}
+	}
+	for _, r := range AllRules() {
+		if !rulesFired[r.Name()] {
+			t.Errorf("rule %s fired no fixture diagnostics; broken fixture coverage", r.Name())
+		}
+	}
+}
+
+// TestRepoIsClean lints the real module (both tag sets) and requires zero
+// diagnostics: the tree must satisfy its own determinism contract.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module lint is slow under -short")
+	}
+	for _, tags := range [][]string{nil, {"dophy_invariants"}} {
+		mod, err := Load("../..", LoadConfig{Tags: tags})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range mod.Run(AllRules()) {
+			t.Errorf("tags=%v: %s", tags, d)
+		}
+	}
+}

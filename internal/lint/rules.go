@@ -1,0 +1,491 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ---------------------------------------------------------------------------
+// Rule norand: the only permitted randomness source is internal/rng.
+//
+// A stray math/rand call is the classic determinism leak: it draws from a
+// global, cross-goroutine-shared stream, so results depend on scheduling and
+// on every other consumer. All randomness must flow from the scenario seed
+// through rng.Source.
+// ---------------------------------------------------------------------------
+
+type ruleRand struct{}
+
+func (ruleRand) Name() string { return "norand" }
+
+func (ruleRand) Check(m *Module, pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	if pkg.RelPath == "internal/rng" {
+		return
+	}
+	for _, file := range pkg.Files {
+		for _, path := range []string{"math/rand", "math/rand/v2"} {
+			names := importNames(file.AST, path)
+			specs := importSpecs(file.AST, path)
+			if len(specs) == 0 {
+				continue
+			}
+			uses := 0
+			ast.Inspect(file.AST, func(n ast.Node) bool {
+				sel, ok := isPkgSelector(n, names)
+				if !ok {
+					return true
+				}
+				if !resolvesToPackage(pkg.Info, sel) {
+					return true
+				}
+				uses++
+				report(sel.Pos(), "use of %s.%s: all randomness must come from %s/internal/rng (seeded, splittable)",
+					path, sel.Sel.Name, m.Path)
+				return true
+			})
+			if uses == 0 {
+				report(specs[0].Pos(), "import of %s is forbidden outside internal/rng; use %s/internal/rng", path, m.Path)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Rule nowalltime: simulation/estimation packages run on virtual time only.
+//
+// Wall-clock reads make outputs depend on host speed and scheduling; inside
+// the listed packages the only clock is sim.Engine.Now. cmd/ and examples/
+// may time things (they report wall-clock to humans).
+// ---------------------------------------------------------------------------
+
+type ruleWallTime struct{}
+
+func (ruleWallTime) Name() string { return "nowalltime" }
+
+// wallTimeRestricted are the module-relative package prefixes where wall
+// clocks are banned.
+var wallTimeRestricted = []string{
+	"internal/sim", "internal/collect", "internal/routing", "internal/tomo", "internal/experiment",
+}
+
+// wallTimeFuncs are the time package functions that read or schedule on the
+// wall clock.
+var wallTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+func (ruleWallTime) Check(m *Module, pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	restricted := false
+	for _, p := range wallTimeRestricted {
+		if pkg.RelPath == p || strings.HasPrefix(pkg.RelPath, p+"/") {
+			restricted = true
+			break
+		}
+	}
+	if !restricted {
+		return
+	}
+	for _, file := range pkg.Files {
+		names := importNames(file.AST, "time")
+		if len(names) == 0 {
+			continue
+		}
+		ast.Inspect(file.AST, func(n ast.Node) bool {
+			sel, ok := isPkgSelector(n, names)
+			if !ok || !wallTimeFuncs[sel.Sel.Name] {
+				return true
+			}
+			if !resolvesToPackage(pkg.Info, sel) {
+				return true
+			}
+			report(sel.Pos(), "wall-clock time.%s in %s: simulation code runs on sim.Engine virtual time only",
+				sel.Sel.Name, pkg.RelPath)
+			return true
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Rule maprange: no output-order dependence on map iteration.
+//
+// Ranging over a map is fine for commutative accumulation (building another
+// map, summing). It is a determinism bug as soon as the body emits anything
+// ordered: printing, writing to an io.Writer, or appending to a result
+// slice. The one exempt shape is the sorted-keys idiom — a loop that only
+// collects the keys into a slice that a later sort.* / slices.* call orders.
+// ---------------------------------------------------------------------------
+
+type ruleMapRange struct{}
+
+func (ruleMapRange) Name() string { return "maprange" }
+
+// printLike are the fmt functions that produce ordered output.
+var printLike = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Sprint": true, "Sprintf": true, "Sprintln": true,
+}
+
+// writerMethods are method names treated as io.Writer-style ordered sinks.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+func (ruleMapRange) Check(m *Module, pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	for _, file := range pkg.Files {
+		fmtNames := importNames(file.AST, "fmt")
+		ioNames := importNames(file.AST, "io")
+		sortNames := append(importNames(file.AST, "sort"), importNames(file.AST, "slices")...)
+		var stack []ast.Node
+		ast.Inspect(file.AST, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if rs, ok := n.(*ast.RangeStmt); ok {
+				checkMapRange(pkg, rs, enclosingFuncBody(stack), fmtNames, ioNames, sortNames, report)
+			}
+			return true
+		})
+	}
+}
+
+// enclosingFuncBody returns the body of the innermost function on the stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+func checkMapRange(pkg *Package, rs *ast.RangeStmt, fnBody *ast.BlockStmt,
+	fmtNames, ioNames, sortNames []string, report func(pos token.Pos, format string, args ...any)) {
+	tv, ok := pkg.Info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	var keyObj types.Object
+	if id, ok := rs.Key.(*ast.Ident); ok && id.Name != "_" {
+		keyObj = objectOf(pkg.Info, id)
+	}
+
+	// Taint scan of the loop body.
+	var keyTargets []types.Object // slices receiving only the range key
+	tainted := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if tainted {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := isPkgSelector(v.Fun, fmtNames); ok && printLike[sel.Sel.Name] && resolvesToPackage(pkg.Info, sel) {
+				tainted = true
+				report(rs.Pos(), "map iteration order leaks into output: fmt.%s inside range over map; iterate sorted keys instead", sel.Sel.Name)
+				return false
+			}
+			if sel, ok := isPkgSelector(v.Fun, ioNames); ok && sel.Sel.Name == "WriteString" && resolvesToPackage(pkg.Info, sel) {
+				tainted = true
+				report(rs.Pos(), "map iteration order leaks into output: io.WriteString inside range over map; iterate sorted keys instead")
+				return false
+			}
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok && writerMethods[sel.Sel.Name] {
+				if s := pkg.Info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+					tainted = true
+					report(rs.Pos(), "map iteration order leaks into output: %s call inside range over map; iterate sorted keys instead", sel.Sel.Name)
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			if v.Tok != token.ASSIGN {
+				return true
+			}
+			for i, lhs := range v.Lhs {
+				if i >= len(v.Rhs) {
+					break
+				}
+				target, appended, ok := appendSelf(pkg, lhs, v.Rhs[i])
+				if !ok || target == nil {
+					continue
+				}
+				// Only accumulation into slices that outlive the loop counts.
+				if target.Pos() >= rs.Pos() && target.Pos() < rs.End() {
+					continue
+				}
+				if keyObj != nil && len(appended) == 1 {
+					if id, ok := appended[0].(*ast.Ident); ok && objectOf(pkg.Info, id) == keyObj {
+						keyTargets = append(keyTargets, target)
+						continue
+					}
+				}
+				tainted = true
+				report(rs.Pos(), "appending map-ordered values to %q inside range over map; iterate sorted keys instead", target.Name())
+				return false
+			}
+		}
+		return true
+	})
+	if tainted {
+		return
+	}
+	// Sorted-keys idiom: the collected key slices must actually be sorted
+	// after the loop.
+	for _, target := range keyTargets {
+		if !sortedAfter(pkg, fnBody, rs.End(), target, sortNames) {
+			report(rs.Pos(), "map keys collected into %q but never sorted afterwards; sort before consuming", target.Name())
+		}
+	}
+}
+
+// appendSelf matches the accumulation form `x = append(x, args...)` and
+// returns x's object plus the appended argument expressions.
+func appendSelf(pkg *Package, lhs ast.Expr, rhs ast.Expr) (types.Object, []ast.Expr, bool) {
+	lid, ok := lhs.(*ast.Ident)
+	if !ok {
+		return nil, nil, false
+	}
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return nil, nil, false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return nil, nil, false
+	}
+	arg0, ok := call.Args[0].(*ast.Ident)
+	if !ok || arg0.Name != lid.Name {
+		return nil, nil, false
+	}
+	return objectOf(pkg.Info, lid), call.Args[1:], true
+}
+
+// sortedAfter reports whether a sort./slices. call mentioning target appears
+// after pos within the function body.
+func sortedAfter(pkg *Package, fnBody *ast.BlockStmt, pos token.Pos, target types.Object, sortNames []string) bool {
+	if fnBody == nil || len(sortNames) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		if _, ok := isPkgSelector(call.Fun, sortNames); !ok {
+			return true
+		}
+		ast.Inspect(call, func(inner ast.Node) bool {
+			if id, ok := inner.(*ast.Ident); ok && objectOf(pkg.Info, id) == target {
+				found = true
+				return false
+			}
+			return true
+		})
+		return !found
+	})
+	return found
+}
+
+// ---------------------------------------------------------------------------
+// Rule nogo: goroutines live only in the sweep engine and in cmd/.
+//
+// A single sim.Engine run is strictly sequential by design; parallelism
+// enters exclusively at the scenario level (internal/experiment/sweep.go)
+// and in command-line front-ends. A goroutine anywhere else either races
+// the simulation or makes event order scheduling-dependent.
+// ---------------------------------------------------------------------------
+
+type ruleGoStmt struct{}
+
+func (ruleGoStmt) Name() string { return "nogo" }
+
+func (ruleGoStmt) Check(m *Module, pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	if pkg.RelPath == "cmd" || strings.HasPrefix(pkg.RelPath, "cmd/") {
+		return
+	}
+	for _, file := range pkg.Files {
+		if file.Name == "internal/experiment/sweep.go" {
+			continue
+		}
+		ast.Inspect(file.AST, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				report(g.Pos(), "goroutine outside internal/experiment/sweep.go and cmd/: simulations are single-threaded by construction")
+			}
+			return true
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Rule poolescape: pooled objects must not be retained across packages.
+//
+// A type fed by a free list (e.g. sim.Event) is recycled: the pointer is
+// only valid while the object is live, and the owning package may hand the
+// same memory to an unrelated caller later. Storing such a pointer in a
+// struct field outside the owning package is a use-after-recycle (or
+// cancel-the-wrong-event) bug waiting to happen.
+// ---------------------------------------------------------------------------
+
+type rulePoolEscape struct{}
+
+func (rulePoolEscape) Name() string { return "poolescape" }
+
+func (rulePoolEscape) Check(m *Module, pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	pooled := m.pooledTypes()
+	if len(pooled) == 0 {
+		return
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file.AST, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				tv, ok := pkg.Info.Types[field.Type]
+				if !ok || tv.Type == nil {
+					continue
+				}
+				obj := containsPooled(tv.Type, pooled, 0)
+				if obj == nil || obj.Pkg() == pkg.Types {
+					continue
+				}
+				report(field.Pos(), "struct field retains pooled %s.%s: pooled objects are recycled by their owning package and must not outlive their handler/Cancel window",
+					obj.Pkg().Name(), obj.Name())
+			}
+			return true
+		})
+	}
+}
+
+// pooledTypes returns the module's pooled types: named types T for which
+// some struct in T's own package keeps a free list — a field of type []T or
+// []*T whose name contains "free" or "pool".
+func (m *Module) pooledTypes() map[types.Object]bool {
+	if m.pooled != nil {
+		return m.pooled
+	}
+	m.pooled = map[types.Object]bool{}
+	for _, pkg := range m.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file.AST, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					if !freeListName(field.Names) {
+						continue
+					}
+					tv, ok := pkg.Info.Types[field.Type]
+					if !ok || tv.Type == nil {
+						continue
+					}
+					slice, ok := tv.Type.Underlying().(*types.Slice)
+					if !ok {
+						continue
+					}
+					elem := slice.Elem()
+					if ptr, ok := elem.(*types.Pointer); ok {
+						elem = ptr.Elem()
+					}
+					named, ok := elem.(*types.Named)
+					if !ok || named.Obj().Pkg() != pkg.Types {
+						continue
+					}
+					m.pooled[named.Obj()] = true
+				}
+				return true
+			})
+		}
+	}
+	return m.pooled
+}
+
+// freeListName reports whether any field name marks a free list / pool.
+func freeListName(names []*ast.Ident) bool {
+	for _, n := range names {
+		lower := strings.ToLower(n.Name)
+		if strings.Contains(lower, "free") || strings.Contains(lower, "pool") {
+			return true
+		}
+	}
+	return false
+}
+
+// containsPooled walks a type's unnamed structure looking for a pooled
+// named type. It deliberately does not descend into named types' underlying
+// structure: holding a *sim.Engine (which owns a free list) is fine; holding
+// a *sim.Event (which is on one) is not.
+func containsPooled(t types.Type, pooled map[types.Object]bool, depth int) types.Object {
+	if depth > 8 {
+		return nil
+	}
+	switch v := t.(type) {
+	case *types.Named:
+		if pooled[v.Obj()] {
+			return v.Obj()
+		}
+	case *types.Pointer:
+		return containsPooled(v.Elem(), pooled, depth+1)
+	case *types.Slice:
+		return containsPooled(v.Elem(), pooled, depth+1)
+	case *types.Array:
+		return containsPooled(v.Elem(), pooled, depth+1)
+	case *types.Map:
+		if obj := containsPooled(v.Key(), pooled, depth+1); obj != nil {
+			return obj
+		}
+		return containsPooled(v.Elem(), pooled, depth+1)
+	case *types.Chan:
+		return containsPooled(v.Elem(), pooled, depth+1)
+	case *types.Struct:
+		for i := 0; i < v.NumFields(); i++ {
+			if obj := containsPooled(v.Field(i).Type(), pooled, depth+1); obj != nil {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// importSpecs returns the import specs for the given path in the file.
+func importSpecs(f *ast.File, path string) []*ast.ImportSpec {
+	var out []*ast.ImportSpec
+	for _, spec := range f.Imports {
+		if strings.Trim(spec.Path.Value, `"`) == path {
+			out = append(out, spec)
+		}
+	}
+	return out
+}
+
+// resolvesToPackage confirms (when type information is available) that the
+// selector's base identifier really is a package name and not a shadowing
+// local variable. With no resolution recorded it errs on the side of
+// reporting.
+func resolvesToPackage(info *types.Info, sel *ast.SelectorExpr) bool {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if obj := info.Uses[id]; obj != nil {
+		_, isPkg := obj.(*types.PkgName)
+		return isPkg
+	}
+	return true
+}

@@ -1,0 +1,15 @@
+// Command tool shows that cmd/ is exempt from nogo and nowalltime.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	fmt.Println(time.Since(start))
+}

@@ -1,0 +1,3 @@
+package badrand
+
+import _ "math/rand" // want "import of math/rand is forbidden"

@@ -1,0 +1,6 @@
+package experiment
+
+// Detach is a stray goroutine outside sweep.go in the same package.
+func Detach(f func()) {
+	go f() // want "goroutine outside"
+}

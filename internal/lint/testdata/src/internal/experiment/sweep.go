@@ -1,0 +1,18 @@
+// Package experiment mirrors the real internal/experiment: goroutines are
+// legal only in sweep.go.
+package experiment
+
+// RunAll fans work out across workers; this file is the exemption.
+func RunAll(fs []func()) {
+	done := make(chan struct{})
+	for _, f := range fs {
+		f := f
+		go func() {
+			f()
+			done <- struct{}{}
+		}()
+	}
+	for range fs {
+		<-done
+	}
+}

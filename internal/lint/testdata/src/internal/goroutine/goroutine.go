@@ -1,0 +1,7 @@
+// Package goroutine violates the nogo rule.
+package goroutine
+
+// Spawn launches work concurrently outside the sweep engine.
+func Spawn(f func()) {
+	go f() // want "goroutine outside"
+}

@@ -1,0 +1,82 @@
+// Package maporder exercises the maprange rule: ordered output from map
+// iteration is flagged; the sorted-keys idiom is exempt.
+package maporder
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Good is the canonical sorted-keys idiom: collect, sort, then emit.
+func Good(m map[int]string) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+// GoodSlice sorts the accumulated values afterwards via sort.Slice.
+func GoodSlice(m map[string]int) []string {
+	names := []string{}
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	return names
+}
+
+// GoodSum is commutative accumulation: no order leak.
+func GoodSum(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Print emits directly in map order.
+func Print(m map[int]string) {
+	for k, v := range m { // want "fmt.Println inside range over map"
+		fmt.Println(k, v)
+	}
+}
+
+// Values accumulates map-ordered values into a result slice.
+func Values(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want "appending map-ordered values"
+		out = append(out, v)
+	}
+	return out
+}
+
+// Unsorted collects keys but never sorts them.
+func Unsorted(m map[int]string) []int {
+	keys := []int{}
+	for k := range m { // want "never sorted afterwards"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Dump writes in map order through an io.Writer.
+func Dump(w io.Writer, m map[string]int) {
+	for k := range m { // want "Write call inside range over map"
+		w.Write([]byte(k))
+	}
+}
+
+// Buffered writes in map order into a bytes.Buffer.
+func Buffered(m map[string]int) string {
+	var buf bytes.Buffer
+	for k := range m { // want "WriteString call inside range over map"
+		buf.WriteString(k)
+	}
+	return buf.String()
+}

@@ -1,0 +1,28 @@
+// Package poolesc violates pooled-object hygiene by retaining pool.Obj
+// pointers in long-lived state outside the owning package.
+package poolesc
+
+import "fixture/internal/pool"
+
+// Holder keeps a raw pooled pointer across calls.
+type Holder struct {
+	last *pool.Obj // want "retains pooled pool.Obj"
+}
+
+// Table hides the pooled pointer inside a map value.
+type Table struct {
+	byID map[int]*pool.Obj // want "retains pooled pool.Obj"
+}
+
+// Owner holds the pool itself, which is fine: only the pooled elements
+// are ownership-restricted.
+type Owner struct {
+	p *pool.Pool
+}
+
+// Use may touch an Obj transiently (locals are out of scope for the rule).
+func (o *Owner) Use() int {
+	obj := o.p.Get()
+	defer o.p.Put(obj)
+	return obj.ID
+}

@@ -1,0 +1,8 @@
+package sim
+
+import "time"
+
+// A justified waiver suppresses the diagnostic on the next line.
+//
+//dophy:allow nowalltime -- wall-clock is the quantity under test here
+var now = time.Now

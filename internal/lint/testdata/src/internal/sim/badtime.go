@@ -1,0 +1,14 @@
+// Package sim mirrors the real internal/sim: wall clocks are banned.
+package sim
+
+import "time"
+
+// Stamp reads the wall clock inside simulation code.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "wall-clock time.Now"
+}
+
+// Age measures elapsed wall time.
+func Age(t time.Time) time.Duration {
+	return time.Since(t) // want "wall-clock time.Since"
+}

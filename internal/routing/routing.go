@@ -107,7 +107,11 @@ type Protocol struct {
 	rec     *trace.Recorder
 	nodes   []*nodeState
 	started bool
-	pending map[topo.NodeID]*sim.Event // extra beacons queued by scheduleNow
+	// pendingBeacon marks nodes with an extra beacon queued by scheduleNow.
+	// Deliberately a flag and not the *sim.Event itself: events are pooled
+	// and recycle the moment they fire, so retaining one here would be a
+	// use-after-recycle hazard (dophy-lint rule poolescape).
+	pendingBeacon []bool
 	// beaconFns holds one prebuilt beacon handler per node, so periodic
 	// rescheduling does not allocate a fresh closure every beacon.
 	beaconFns []sim.Handler
@@ -129,7 +133,7 @@ func New(cfg Config, eng *sim.Engine, tp *topo.Topology, model radio.Model, r *r
 		}
 	}
 	p := &Protocol{cfg: cfg, eng: eng, tp: tp, model: model, r: r, rec: rec,
-		pending: make(map[topo.NodeID]*sim.Event)}
+		pendingBeacon: make([]bool, tp.N())}
 	p.nodes = make([]*nodeState, tp.N())
 	for i := range p.nodes {
 		ns := &nodeState{
@@ -276,7 +280,7 @@ func (p *Protocol) OnDataResult(from, to topo.NodeID, res mac.Result) {
 		// Data-path trouble: re-arm fast beaconing (CTP's pull behaviour)
 		// so the neighbourhood resynchronises its advertisements quickly.
 		p.trickleReset(ns)
-		if ev := p.pending[from]; ev == nil || ev.Cancelled() {
+		if !p.pendingBeacon[from] {
 			p.scheduleNow(from)
 		}
 	}
@@ -292,11 +296,11 @@ func (p *Protocol) scheduleNow(id topo.NodeID) {
 	if !p.cfg.AdaptiveBeacon || !p.started {
 		return
 	}
-	ev := p.eng.After(p.cfg.BeaconMin*sim.Time(0.25*(1+p.r.Float64())), func() {
-		p.pending[id] = nil
+	p.eng.After(p.cfg.BeaconMin*sim.Time(0.25*(1+p.r.Float64())), func() {
+		p.pendingBeacon[id] = false
 		p.beaconOnce(id)
 	})
-	p.pending[id] = ev
+	p.pendingBeacon[id] = true
 }
 
 // beaconOnce transmits a beacon without touching the periodic schedule.
@@ -378,7 +382,10 @@ func (p *Protocol) randomizeParent(id topo.NodeID) {
 	ns := p.nodes[id]
 	var cands []topo.NodeID
 	var metrics []float64
-	for nb, info := range ns.neighbors {
+	// The topology's neighbour lists are sorted by node id, so candidates
+	// come out in deterministic ascending order with no post-sort.
+	for _, nb := range p.tp.Neighbors(id) {
+		info := ns.neighbors[nb]
 		if m, ok := p.metric(ns, nb, info); ok && m < p.cfg.MaxETXSample*4 {
 			cands = append(cands, nb)
 			metrics = append(metrics, m)
@@ -386,13 +393,6 @@ func (p *Protocol) randomizeParent(id topo.NodeID) {
 	}
 	if len(cands) == 0 {
 		return
-	}
-	// Deterministic candidate order regardless of map iteration.
-	for i := 1; i < len(cands); i++ {
-		for j := i; j > 0 && cands[j] < cands[j-1]; j-- {
-			cands[j], cands[j-1] = cands[j-1], cands[j]
-			metrics[j], metrics[j-1] = metrics[j-1], metrics[j]
-		}
 	}
 	k := p.r.Intn(len(cands))
 	p.adoptParent(ns, cands[k], metrics[k])

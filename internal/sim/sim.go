@@ -77,6 +77,10 @@ func (h *eventHeap) Pop() any {
 
 // Engine owns the virtual clock and event queue.
 type Engine struct {
+	// inv carries the build-tag-gated runtime invariant checks; in the
+	// default build it is a zero-size no-op (see invariants_off.go). Kept
+	// first so the zero-size variant costs no trailing padding.
+	inv       engineInvariants
 	now       Time
 	seq       uint64
 	queue     eventHeap
@@ -114,17 +118,20 @@ func (e *Engine) Schedule(at Time, fn Handler) *Event {
 		ev = e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
+		e.inv.onReuse(e, ev)
 		ev.at, ev.seq, ev.fn, ev.cancel = at, e.seq, fn, false
 	} else {
 		ev = &Event{at: at, seq: e.seq, fn: fn, engine: e}
 	}
 	e.seq++
 	heap.Push(&e.queue, ev)
+	e.inv.checkHeap(e)
 	return ev
 }
 
 // recycle returns a dead event (fired or cancelled) to the free list.
 func (e *Engine) recycle(ev *Event) {
+	e.inv.onRecycle(e, ev)
 	ev.fn = nil // release the closure for GC
 	e.free = append(e.free, ev)
 }
@@ -144,8 +151,10 @@ func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.engine != e || ev.cancel || ev.index < 0 {
 		return
 	}
+	e.inv.onCancel(e, ev)
 	ev.cancel = true
 	heap.Remove(&e.queue, ev.index)
+	e.inv.checkHeap(e)
 	e.recycle(ev)
 }
 
@@ -169,6 +178,7 @@ func (e *Engine) Run(until Time) Time {
 			return e.now
 		}
 		heap.Pop(&e.queue)
+		e.inv.checkHeap(e)
 		if next.cancel {
 			// Unreachable under eager Cancel removal; kept as a guard.
 			e.recycle(next)

@@ -169,6 +169,9 @@ func TestEventRecycling(t *testing.T) {
 }
 
 func TestScheduleSteadyStateAllocs(t *testing.T) {
+	if InvariantsEnabled {
+		t.Skip("dophy_invariants build trades allocation-freedom for checking")
+	}
 	e := New()
 	// Warm the free list and the heap's backing array.
 	for i := 0; i < 64; i++ {
@@ -186,6 +189,28 @@ func TestScheduleSteadyStateAllocs(t *testing.T) {
 	if allocs > 1 {
 		t.Fatalf("schedule/run cycle allocates %.1f objects, want <= 1", allocs)
 	}
+}
+
+func TestCancelTwiceIsNoOp(t *testing.T) {
+	e := New()
+	fired := false
+	keep := e.Schedule(2, func() { fired = true })
+	victim := e.Schedule(1, func() { t.Fatal("cancelled event fired") })
+	e.Cancel(victim)
+	e.Cancel(victim) // double cancel: must not touch the free list again
+	e.RunAll()
+	if !fired {
+		t.Fatal("surviving event did not fire")
+	}
+	_ = keep
+	// The free list must hold exactly two distinct events (victim + keep);
+	// a corrupted list would hand the same pointer out twice.
+	a := e.Schedule(3, func() {})
+	b := e.Schedule(4, func() {})
+	if a == b {
+		t.Fatal("free list corrupted: two live events share one pointer")
+	}
+	e.RunAll()
 }
 
 func TestCancelForeignEventIgnored(t *testing.T) {

@@ -1,0 +1,10 @@
+//go:build !dophy_invariants
+
+package pathrecord
+
+// recInvariants is the no-op variant; see invariants_on.go.
+type recInvariants struct{}
+
+func (recInvariants) onHopRecorded()       {}
+func (recInvariants) onEndEpoch(*Recorder) {}
+func (recInvariants) onEpochReset()        {}

@@ -1,0 +1,33 @@
+//go:build dophy_invariants
+
+package pathrecord
+
+import (
+	"fmt"
+	"math"
+)
+
+// recInvariants enforces per-hop conservation for the recording baselines:
+// every successfully recorded hop adds exactly one observation to its
+// link's accumulator, so the per-link totals must sum to the number of
+// recorded hops at each epoch boundary. (Journeys rejected mid-packet for
+// out-of-range counts contribute only their already-recorded prefix, which
+// the counter tracks hop by hop.)
+type recInvariants struct {
+	recordedHops float64
+}
+
+func (iv *recInvariants) onHopRecorded() { iv.recordedHops++ }
+
+func (iv *recInvariants) onEndEpoch(r *Recorder) {
+	var total float64
+	for _, obs := range r.linkObs {
+		total += obs.Total()
+	}
+	if math.Abs(total-iv.recordedHops) > 1e-6*(1+iv.recordedHops) {
+		panic(fmt.Sprintf("pathrecord: invariant violated: link observations sum to %g, %g hops were recorded this epoch",
+			total, iv.recordedHops))
+	}
+}
+
+func (iv *recInvariants) onEpochReset() { iv.recordedHops = 0 }

@@ -90,6 +90,9 @@ func (o Overhead) BytesPerPacket() float64 { return o.BitsPerPacket() / 8 }
 
 // Recorder is the sink-side engine for one variant.
 type Recorder struct {
+	// inv carries the build-tag-gated conservation checks; a zero-size
+	// no-op in the default build (see invariants_off.go).
+	inv        recInvariants
 	tp         *topo.Topology
 	cfg        Config
 	originBits int
@@ -198,6 +201,7 @@ func (r *Recorder) OnJourney(j *collect.PacketJourney) int {
 			r.linkObs[h.Link] = obs
 		}
 		obs.AddAttempt(observed)
+		r.inv.onHopRecorded()
 	}
 	r.overhead.AnnotationBits += int64(w.Bits())
 	return w.Bits()
@@ -216,6 +220,7 @@ func neighborIndex(tp *topo.Topology, from, to topo.NodeID) int {
 // The Huffman variant rebuilds its code from the epoch's count histogram.
 func (r *Recorder) EndEpoch() *EpochReport {
 	r.epoch++
+	r.inv.onEndEpoch(r)
 	rep := &EpochReport{
 		Epoch:        r.epoch,
 		Links:        make(map[topo.Link]float64, len(r.linkObs)),
@@ -247,6 +252,7 @@ func (r *Recorder) EndEpoch() *EpochReport {
 		}
 	}
 	r.linkObs = make(map[topo.Link]*geomle.Obs)
+	r.inv.onEpochReset()
 	r.overhead = Overhead{}
 	r.decodeErrors = 0
 	return rep
