@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -45,6 +46,9 @@ type benchReport struct {
 	TotalEvents uint64            `json:"total_sim_events"`
 	AllocBytes  uint64            `json:"total_alloc_bytes"`
 	Mallocs     uint64            `json:"mallocs"`
+	// PeakRSSKB is the process's peak resident set size (VmHWM) after all
+	// experiments finished; 0 where /proc is unavailable.
+	PeakRSSKB uint64 `json:"peak_rss_kb,omitempty"`
 }
 
 type benchExperiment struct {
@@ -59,6 +63,34 @@ type benchExperiment struct {
 	// when experiments run sequentially, so it is recorded at -parallel 1
 	// and omitted otherwise (older reports lack it entirely).
 	Mallocs uint64 `json:"mallocs,omitempty"`
+	// PeakRSSKB is the process peak RSS sampled when this experiment
+	// finished. The high-water mark is process-wide and monotone, so the
+	// per-experiment numbers attribute memory growth only at -parallel 1.
+	PeakRSSKB uint64 `json:"peak_rss_kb,omitempty"`
+}
+
+// readPeakRSSKB reads the process's peak resident set size (VmHWM, in KiB)
+// from /proc/self/status. Returns 0 where the field is unavailable.
+func readPeakRSSKB() uint64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb
+	}
+	return 0
 }
 
 func main() {
@@ -73,6 +105,7 @@ func main() {
 		compare  = flag.String("compare", "", "previous -json report to diff against; exits nonzero on regression")
 		maxWall  = flag.Float64("max-wall-regress", 0.15, "per-experiment wall-clock regression tolerance for -compare")
 		maxAlloc = flag.Float64("max-allocs-regress", 0.10, "per-experiment allocs-per-run regression tolerance for -compare")
+		maxRSS   = flag.Float64("max-rss-regress", 0.30, "whole-run peak-RSS regression tolerance for -compare")
 	)
 	flag.Parse()
 
@@ -123,9 +156,10 @@ func main() {
 		expWorkers = 1
 	}
 	type outcome struct {
-		table   *experiment.Table
-		elapsed time.Duration
-		mallocs uint64
+		table     *experiment.Table
+		elapsed   time.Duration
+		mallocs   uint64
+		peakRSSKB uint64
 	}
 	results := make([]outcome, len(selected))
 	sem := make(chan struct{}, expWorkers)
@@ -144,6 +178,7 @@ func main() {
 			}
 			start := time.Now()
 			results[i] = outcome{table: r.Run(*seedFlag), elapsed: time.Since(start)}
+			results[i].peakRSSKB = readPeakRSSKB()
 			if expWorkers == 1 {
 				var after runtime.MemStats
 				runtime.ReadMemStats(&after)
@@ -177,6 +212,7 @@ func main() {
 				EventsPS:  eps,
 				Rows:      len(res.table.Rows),
 				Mallocs:   res.mallocs,
+				PeakRSSKB: res.peakRSSKB,
 			})
 			rep.TotalEvents += res.table.SimEvents
 		}
@@ -184,6 +220,7 @@ func main() {
 		runtime.ReadMemStats(&memAfter)
 		rep.AllocBytes = memAfter.TotalAlloc - memBefore.TotalAlloc
 		rep.Mallocs = memAfter.Mallocs - memBefore.Mallocs
+		rep.PeakRSSKB = readPeakRSSKB()
 		if *jsonFlag {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
@@ -198,7 +235,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "dophy-bench: -compare: %v\n", err)
 				os.Exit(2)
 			}
-			if !compareReports(os.Stderr, old, &rep, *maxWall, *maxAlloc) {
+			if !compareReports(os.Stderr, old, &rep, *maxWall, *maxAlloc, *maxRSS) {
 				os.Exit(1)
 			}
 		}
@@ -237,7 +274,7 @@ const minCompareWallS = 0.25
 // given tolerances. Fields the baseline lacks — per-experiment mallocs from
 // pre-compare report formats, or experiments that are new — are skipped
 // rather than failed, so old BENCH_*.json files stay usable.
-func compareReports(out *os.File, old, cur *benchReport, maxWall, maxAlloc float64) bool {
+func compareReports(out *os.File, old, cur *benchReport, maxWall, maxAlloc, maxRSS float64) bool {
 	byID := map[string]*benchExperiment{}
 	for i := range old.Experiments {
 		byID[old.Experiments[i].ID] = &old.Experiments[i]
@@ -278,6 +315,19 @@ func compareReports(out *os.File, old, cur *benchReport, maxWall, maxAlloc float
 	}
 	if cur.Parallel != 1 || old.Parallel != 1 {
 		fmt.Fprintf(out, "  note: per-experiment allocs only gate at -parallel 1 on both sides\n")
+	}
+	// Peak RSS gates the whole run: the high-water mark is process-wide, so
+	// per-experiment samples are informational only. Skipped when either
+	// report lacks the field (pre-RSS formats, or /proc unavailable).
+	if old.PeakRSSKB > 0 && cur.PeakRSSKB > 0 {
+		rel := float64(cur.PeakRSSKB)/float64(old.PeakRSSKB) - 1
+		verdict := "ok"
+		if rel > maxRSS {
+			verdict = fmt.Sprintf("RSS REGRESSION (+%.1f%% > %.0f%%)", 100*rel, 100*maxRSS)
+			ok = false
+		}
+		fmt.Fprintf(out, "  peak RSS %d KiB -> %d KiB (%+.1f%%)  %s\n",
+			old.PeakRSSKB, cur.PeakRSSKB, 100*rel, verdict)
 	}
 	if ok {
 		fmt.Fprintf(out, "dophy-bench: no regressions beyond tolerances (wall %.0f%%, allocs %.0f%%)\n",

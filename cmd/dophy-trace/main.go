@@ -136,13 +136,17 @@ func doAnalyze(path string, grid int, seed uint64) error {
 	links := rep.SortedLinks()
 	fmt.Printf("%-10s  %-9s  %-8s  %s\n", "link", "est-loss", "stderr", "samples")
 	for _, l := range links {
-		est := rep.Links[l]
+		est, _ := rep.At(l)
 		fmt.Printf("%-10s  %-9.4f  %-8.4f  %d\n", l, est.Loss, est.StdErr, est.Samples)
 	}
-	sort.Slice(links, func(i, j int) bool { return rep.Links[links[i]].Loss > rep.Links[links[j]].Loss })
+	lossOf := func(l topo.Link) float64 {
+		est, _ := rep.At(l)
+		return est.Loss
+	}
+	sort.Slice(links, func(i, j int) bool { return lossOf(links[i]) > lossOf(links[j]) })
 	if len(links) > 0 {
 		worst := links[0]
-		fmt.Printf("\nworst link: %s at %.3f loss\n", worst, rep.Links[worst].Loss)
+		fmt.Printf("\nworst link: %s at %.3f loss\n", worst, lossOf(worst))
 	}
 	return nil
 }

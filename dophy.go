@@ -30,7 +30,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"dophy/internal/experiment"
 	"dophy/internal/sim"
@@ -288,25 +287,19 @@ func (s *Simulation) RunEpoch() *Report {
 	}
 	min := s.scenario.MinTruthAttempts
 	for _, l := range eo.Truth.ActiveLinks(min) {
-		if loss, ok := eo.Truth.Links[l].Loss(min); ok {
+		if loss, ok := eo.Truth.Link(l).Loss(min); ok {
 			rep.TrueLoss[l] = loss
 		}
 	}
-	// Walk links in sorted order so float accumulation is deterministic.
-	links := make([]Link, 0, len(se.Loss))
-	for l := range se.Loss {
-		links = append(links, l)
-	}
-	sort.Slice(links, func(i, j int) bool {
-		if links[i].From != links[j].From {
-			return links[i].From < links[j].From
-		}
-		return links[i].To < links[j].To
-	})
+	// Table order is ascending (From, To), so the float accumulation below
+	// is deterministic without sorting.
 	var est, tru []float64
-	for _, l := range links {
-		loss := se.Loss[l]
-		rep.Estimates[l] = LinkEstimate{Loss: loss, StdErr: se.StdErr[l], Samples: se.Samples[l]}
+	for i, loss := range se.Loss {
+		if math.IsNaN(loss) {
+			continue
+		}
+		l := se.Table.Link(i)
+		rep.Estimates[l] = LinkEstimate{Loss: loss, StdErr: se.StdErr[i], Samples: se.Samples[i]}
 		if t, ok := rep.TrueLoss[l]; ok {
 			est = append(est, loss)
 			tru = append(tru, t)

@@ -210,7 +210,9 @@ func (n *Network) jitteredPeriod() sim.Time {
 // generate creates one packet at id and starts forwarding it.
 func (n *Network) generate(id topo.NodeID) {
 	n.nextSeq[id]++
-	j := &PacketJourney{Origin: id, Seq: n.nextSeq[id], Generated: n.eng.Now()}
+	// Pre-size Hops for typical path depth: the append in transmit would
+	// otherwise regrow 1→2→4→8 for every journey on the hot path.
+	j := &PacketJourney{Origin: id, Seq: n.nextSeq[id], Generated: n.eng.Now(), Hops: make([]Hop, 0, 8)}
 	if n.rec != nil {
 		n.rec.Generated++
 	}

@@ -28,7 +28,7 @@ func chainNetwork(t *testing.T, n int, loss float64, parents []topo.NodeID) (*Ne
 	tp := topo.Chain(n, 10, 10.5)
 	eng := sim.New()
 	model := radio.NewStaticUniformLoss(tp, loss)
-	rec := trace.NewRecorder()
+	rec := trace.NewRecorder(tp.LinkTable())
 	arq := mac.New(mac.DefaultConfig(), model, rng.New(3), rec)
 	if parents == nil {
 		parents = make([]topo.NodeID, n)
@@ -90,7 +90,7 @@ func TestLossyChainDropsRecorded(t *testing.T) {
 	tp := topo.Chain(3, 10, 10.5)
 	eng := sim.New()
 	model := radio.NewStaticUniformLoss(tp, 0.7) // brutal links
-	rec := trace.NewRecorder()
+	rec := trace.NewRecorder(tp.LinkTable())
 	arq := mac.New(mac.Config{MaxRetx: 1}, model, rng.New(5), rec)
 	parents := []topo.NodeID{-1, 0, 1}
 	nw := New(DefaultConfig(), eng, tp, arq, &fixedRouter{parents}, rng.New(6), rec)
@@ -157,7 +157,7 @@ func TestObservedMatchesAttemptsWithoutAckLoss(t *testing.T) {
 	tp := topo.Chain(4, 10, 10.5)
 	eng := sim.New()
 	model := radio.NewStaticUniformLoss(tp, 0.4)
-	rec := trace.NewRecorder()
+	rec := trace.NewRecorder(tp.LinkTable())
 	arq := mac.New(mac.Config{MaxRetx: 7}, model, rng.New(7), rec)
 	parents := []topo.NodeID{-1, 0, 1, 2}
 	nw := New(DefaultConfig(), eng, tp, arq, &fixedRouter{parents}, rng.New(8), rec)
@@ -192,7 +192,7 @@ func TestEndToEndWithRealRouting(t *testing.T) {
 	}
 	eng := sim.New()
 	model := radio.NewStatic(tp, radio.DefaultBase(), 10)
-	rec := trace.NewRecorder()
+	rec := trace.NewRecorder(tp.LinkTable())
 	root := rng.New(11)
 	arq := mac.New(mac.DefaultConfig(), model, root.Split(), rec)
 	proto := routing.New(routing.DefaultConfig(), eng, tp, model, root.Split(), rec)
@@ -256,7 +256,7 @@ func TestQueueingSerialisesNode(t *testing.T) {
 	tp := topo.Chain(3, 10, 10.5)
 	eng := sim.New()
 	model := radio.NewStaticUniformLoss(tp, 0)
-	rec := trace.NewRecorder()
+	rec := trace.NewRecorder(tp.LinkTable())
 	arq := mac.New(mac.DefaultConfig(), model, rng.New(31), rec)
 	parents := []topo.NodeID{-1, 0, 1}
 	cfg := Config{GenPeriod: 0.05, GenJitter: 0, TxTime: 0.05, HopDelay: 0.01, TTL: 16, QueueCap: 2}
@@ -278,7 +278,7 @@ func TestQueueingStillDeliversUnderLightLoad(t *testing.T) {
 	tp := topo.Chain(4, 10, 10.5)
 	eng := sim.New()
 	model := radio.NewStaticUniformLoss(tp, 0)
-	rec := trace.NewRecorder()
+	rec := trace.NewRecorder(tp.LinkTable())
 	arq := mac.New(mac.DefaultConfig(), model, rng.New(33), rec)
 	cfg := DefaultConfig()
 	cfg.QueueCap = 8

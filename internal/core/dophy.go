@@ -28,7 +28,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"math"
 
 	"dophy/internal/coding/arith"
 	"dophy/internal/coding/bitio"
@@ -149,10 +149,13 @@ type LinkEstimate struct {
 	Samples int64   // observations behind the estimate
 }
 
-// EpochReport is the output of one estimation epoch.
+// EpochReport is the output of one estimation epoch. Est is dense, indexed
+// by Table; a NaN Loss marks links without an estimate this epoch
+// (estimators never legitimately produce NaN).
 type EpochReport struct {
 	Epoch        int
-	Links        map[topo.Link]LinkEstimate
+	Table        *topo.LinkTable
+	Est          []LinkEstimate
 	Overhead     Overhead
 	DecodeErrors int64
 	ModelUpdated bool
@@ -160,18 +163,34 @@ type EpochReport struct {
 	ModelFreqs []uint32
 }
 
-// SortedLinks returns the estimated links in deterministic order.
-func (r *EpochReport) SortedLinks() []topo.Link {
-	out := make([]topo.Link, 0, len(r.Links))
-	for l := range r.Links {
-		out = append(out, l)
+// At returns l's estimate and whether l was estimated this epoch.
+func (r *EpochReport) At(l topo.Link) (LinkEstimate, bool) {
+	i := r.Table.Index(l)
+	if i < 0 || math.IsNaN(r.Est[i].Loss) {
+		return LinkEstimate{}, false
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].From != out[j].From {
-			return out[i].From < out[j].From
+	return r.Est[i], true
+}
+
+// NumEstimated counts links with an estimate this epoch.
+func (r *EpochReport) NumEstimated() int {
+	n := 0
+	for i := range r.Est {
+		if !math.IsNaN(r.Est[i].Loss) {
+			n++
 		}
-		return out[i].To < out[j].To
-	})
+	}
+	return n
+}
+
+// SortedLinks returns the estimated links in deterministic (table) order.
+func (r *EpochReport) SortedLinks() []topo.Link {
+	var out []topo.Link
+	for i := range r.Est {
+		if !math.IsNaN(r.Est[i].Loss) {
+			out = append(out, r.Table.Link(i))
+		}
+	}
 	return out
 }
 
@@ -181,6 +200,7 @@ type Dophy struct {
 	// no-op in the default build (see invariants_off.go).
 	inv coreInvariants
 	tp  *topo.Topology
+	lt  *topo.LinkTable
 	cfg Config
 	agg model.Aggregator
 
@@ -191,9 +211,9 @@ type Dophy struct {
 	meanHops   float64 // topology mean hop depth, for dissemination costing
 
 	epoch        int
-	linkObs      map[topo.Link]*geomle.Obs
-	symbolWindow []uint64   // decoded count symbols since last model update
-	hopWindow    [][]uint64 // decoded next-hop indices per sender node
+	linkObs      *geomle.Arena // per-link accumulators, indexed by lt
+	symbolWindow []uint64      // decoded count symbols since last model update
+	hopWindow    [][]uint64    // decoded next-hop indices per sender node
 	overhead     Overhead
 	decodeErrors int64
 
@@ -217,6 +237,7 @@ func New(tp *topo.Topology, cfg Config) *Dophy {
 	cfg.validate()
 	d := &Dophy{
 		tp:  tp,
+		lt:  tp.LinkTable(),
 		cfg: cfg,
 		agg: model.Aggregator{Threshold: cfg.AggThreshold, MaxCount: cfg.MaxAttempts - 1},
 	}
@@ -242,7 +263,7 @@ func New(tp *topo.Topology, cfg Config) *Dophy {
 	if cnt > 0 {
 		d.meanHops = float64(sum) / float64(cnt)
 	}
-	d.linkObs = make(map[topo.Link]*geomle.Obs)
+	d.linkObs = geomle.NewArena(d.lt.Len(), d.exactLen())
 	d.encWriter = bitio.NewWriter()
 	d.encCoder = arith.NewEncoder(d.encWriter)
 	d.decReader = bitio.NewReader(nil)
@@ -325,13 +346,9 @@ func (d *Dophy) accumulate(hops []topo.Link, counts []int) {
 		sym := counts[i]
 		d.symbolWindow[sym]++
 		if d.cfg.HopModelUpdateEvery > 0 {
-			d.hopWindow[l.From][neighborIndex(d.tp, l.From, l.To)]++
+			d.hopWindow[l.From][d.lt.NeighborIndex(l)]++
 		}
-		obs := d.linkObs[l]
-		if obs == nil {
-			obs = &geomle.Obs{Exact: make([]float64, d.exactLen())}
-			d.linkObs[l] = obs
-		}
+		obs := d.linkObs.At(d.lt.Index(l))
 		if d.agg.IsTail(sym) {
 			obs.Censored++
 		} else {
@@ -407,9 +424,8 @@ func (d *Dophy) decodeWith(origin topo.NodeID, data []byte, nHops int, countMode
 
 // neighborIndex returns to's index in from's sorted neighbour list.
 func neighborIndex(tp *topo.Topology, from, to topo.NodeID) int {
-	nbs := tp.Neighbors(from)
-	i := sort.Search(len(nbs), func(i int) bool { return nbs[i] >= to })
-	if i == len(nbs) || nbs[i] != to {
+	i := tp.LinkTable().NeighborIndex(topo.Link{From: from, To: to})
+	if i < 0 {
 		panic(fmt.Sprintf("core: %d is not a neighbour of %d", to, from))
 	}
 	return i
@@ -423,23 +439,29 @@ func (d *Dophy) EndEpoch() *EpochReport {
 	d.inv.onEndEpoch(d)
 	rep := &EpochReport{
 		Epoch:        d.epoch,
-		Links:        make(map[topo.Link]LinkEstimate, len(d.linkObs)),
+		Table:        d.lt,
+		Est:          make([]LinkEstimate, d.lt.Len()),
 		Overhead:     d.overhead,
 		DecodeErrors: d.decodeErrors,
 		ModelFreqs:   d.countModel.Freqs(),
 	}
-	for l, obs := range d.linkObs {
-		if obs.Total() < float64(d.cfg.MinSamples) {
+	for i := range rep.Est {
+		rep.Est[i].Loss = math.NaN()
+	}
+	for i := 0; i < d.linkObs.Len(); i++ {
+		obs := d.linkObs.At(i)
+		total := obs.Total()
+		if total == 0 || total < float64(d.cfg.MinSamples) {
 			continue
 		}
 		p, err := obs.EstimateP(d.cfg.MaxAttempts)
 		if err != nil {
 			continue
 		}
-		rep.Links[l] = LinkEstimate{
+		rep.Est[i] = LinkEstimate{
 			Loss:    1 - p,
 			StdErr:  obs.StdErr(d.cfg.MaxAttempts, p),
-			Samples: int64(obs.Total() + 0.5),
+			Samples: int64(total + 0.5),
 		}
 	}
 	if d.cfg.UpdateEvery > 0 && d.epoch%d.cfg.UpdateEvery == 0 && windowTotal(d.symbolWindow) > 0 {
@@ -458,14 +480,20 @@ func (d *Dophy) EndEpoch() *EpochReport {
 	}
 	if d.cfg.ObsDecay > 0 {
 		// Streaming estimator: forget exponentially instead of resetting.
-		for l, obs := range d.linkObs {
+		// Links whose evidence decays below half an observation are zeroed
+		// outright — the dense equivalent of deleting the map entry.
+		for i := 0; i < d.linkObs.Len(); i++ {
+			obs := d.linkObs.At(i)
+			if obs.Total() == 0 {
+				continue
+			}
 			obs.Decay(d.cfg.ObsDecay)
 			if obs.Total() < 0.5 {
-				delete(d.linkObs, l)
+				obs.Clear()
 			}
 		}
 	} else {
-		d.linkObs = make(map[topo.Link]*geomle.Obs)
+		d.linkObs.Reset()
 	}
 	d.inv.onEpochReset(d)
 	d.overhead = Overhead{}

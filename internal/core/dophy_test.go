@@ -53,7 +53,7 @@ func TestDroppedJourneysIgnored(t *testing.T) {
 	j.Drop = collect.DropRetries
 	d.OnJourney(j)
 	rep := d.EndEpoch()
-	if rep.Overhead.Packets != 0 || len(rep.Links) != 0 {
+	if rep.Overhead.Packets != 0 || len(rep.SortedLinks()) != 0 {
 		t.Fatal("dropped journey was processed")
 	}
 }
@@ -65,7 +65,7 @@ func TestEstimatesRecoverUniformLoss(t *testing.T) {
 	tp := topo.Chain(4, 10, 10.5)
 	eng := sim.New()
 	rm := radio.NewStaticUniformLoss(tp, loss)
-	rec := trace.NewRecorder()
+	rec := trace.NewRecorder(tp.LinkTable())
 	root := rng.New(42)
 	arq := mac.New(mac.Config{MaxRetx: 7}, rm, root.Split(), rec)
 	proto := routing.New(routing.DefaultConfig(), eng, tp, rm, root.Split(), rec)
@@ -83,10 +83,12 @@ func TestEstimatesRecoverUniformLoss(t *testing.T) {
 	if rep.DecodeErrors != 0 {
 		t.Fatalf("decode errors: %d", rep.DecodeErrors)
 	}
-	if len(rep.Links) < 3 {
-		t.Fatalf("only %d links estimated", len(rep.Links))
+	estimated := rep.SortedLinks()
+	if len(estimated) < 3 {
+		t.Fatalf("only %d links estimated", len(estimated))
 	}
-	for l, est := range rep.Links {
+	for _, l := range estimated {
+		est, _ := rep.At(l)
 		if math.Abs(est.Loss-loss) > 0.05 {
 			t.Errorf("link %v loss = %.3f (n=%d), want ~%.2f", l, est.Loss, est.Samples, loss)
 		}
@@ -123,7 +125,7 @@ func TestAggregatedTailCensored(t *testing.T) {
 	if rep.DecodeErrors != 0 {
 		t.Fatalf("decode errors: %d", rep.DecodeErrors)
 	}
-	est, ok := rep.Links[topo.Link{From: 1, To: 0}]
+	est, ok := rep.At(topo.Link{From: 1, To: 0})
 	if !ok {
 		t.Fatal("link not estimated")
 	}
@@ -186,7 +188,7 @@ func TestEpochResets(t *testing.T) {
 		t.Fatalf("epoch 1 packets = %d", rep1.Overhead.Packets)
 	}
 	rep2 := d.EndEpoch()
-	if rep2.Overhead.Packets != 0 || len(rep2.Links) != 0 {
+	if rep2.Overhead.Packets != 0 || len(rep2.SortedLinks()) != 0 {
 		t.Fatal("epoch accumulators not reset")
 	}
 	if rep2.Epoch != 2 {
@@ -202,13 +204,13 @@ func TestMinSamplesFilters(t *testing.T) {
 	for i := 0; i < 99; i++ {
 		d.OnJourney(journey([]topo.NodeID{1, 0}, []int{1}))
 	}
-	if rep := d.EndEpoch(); len(rep.Links) != 0 {
+	if rep := d.EndEpoch(); len(rep.SortedLinks()) != 0 {
 		t.Fatal("under-sampled link reported")
 	}
 	for i := 0; i < 100; i++ {
 		d.OnJourney(journey([]topo.NodeID{1, 0}, []int{1}))
 	}
-	if rep := d.EndEpoch(); len(rep.Links) != 1 {
+	if rep := d.EndEpoch(); len(rep.SortedLinks()) != 1 {
 		t.Fatal("sufficiently-sampled link not reported")
 	}
 }
@@ -424,13 +426,13 @@ func TestObsDecayCarriesEvidence(t *testing.T) {
 		d.OnJourney(journey([]topo.NodeID{1, 0}, []int{2}))
 	}
 	rep1 := d.EndEpoch()
-	if len(rep1.Links) != 1 {
+	if len(rep1.SortedLinks()) != 1 {
 		t.Fatal("link not estimated in epoch 1")
 	}
 	// Epoch 2 has NO new traffic: the windowed estimator would report
 	// nothing; the decayed estimator still has 20 effective samples.
 	rep2 := d.EndEpoch()
-	est, ok := rep2.Links[topo.Link{From: 1, To: 0}]
+	est, ok := rep2.At(topo.Link{From: 1, To: 0})
 	if !ok {
 		t.Fatal("decayed estimator forgot everything after one idle epoch")
 	}
@@ -442,7 +444,7 @@ func TestObsDecayCarriesEvidence(t *testing.T) {
 		d.EndEpoch()
 	}
 	repN := d.EndEpoch()
-	if len(repN.Links) != 0 {
+	if len(repN.SortedLinks()) != 0 {
 		t.Fatal("stale evidence never evaporated")
 	}
 }

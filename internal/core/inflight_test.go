@@ -22,7 +22,7 @@ func buildNetwork(t *testing.T, seed uint64) (*sim.Engine, *collect.Network, *to
 	}
 	eng := sim.New()
 	model := radio.NewStatic(tp, radio.DefaultBase(), seed)
-	rec := trace.NewRecorder()
+	rec := trace.NewRecorder(tp.LinkTable())
 	root := rng.New(seed + 1)
 	arq := mac.New(mac.Config{MaxRetx: 7}, model, root.Split(), rec)
 	proto := routing.New(routing.DefaultConfig(), eng, tp, model, root.Split(), rec)
@@ -70,11 +70,13 @@ func TestDistributedMatchesCentral(t *testing.T) {
 			t.Fatalf("epoch %d annotation bits differ: %d vs %d",
 				epoch, cRep.Overhead.AnnotationBits, dRep.Overhead.AnnotationBits)
 		}
-		if len(cRep.Links) != len(dRep.Links) {
-			t.Fatalf("epoch %d link sets differ: %d vs %d", epoch, len(cRep.Links), len(dRep.Links))
+		cLinks, dLinks := cRep.SortedLinks(), dRep.SortedLinks()
+		if len(cLinks) != len(dLinks) {
+			t.Fatalf("epoch %d link sets differ: %d vs %d", epoch, len(cLinks), len(dLinks))
 		}
-		for l, ce := range cRep.Links {
-			de, ok := dRep.Links[l]
+		for _, l := range cLinks {
+			ce, _ := cRep.At(l)
+			de, ok := dRep.At(l)
 			if !ok || ce.Loss != de.Loss || ce.Samples != de.Samples {
 				t.Fatalf("epoch %d link %v estimates differ: %+v vs %+v", epoch, l, ce, de)
 			}

@@ -34,8 +34,8 @@ func (iv *coreInvariants) onEndEpoch(d *Dophy) {
 		return
 	}
 	var total float64
-	for _, obs := range d.linkObs {
-		total += obs.Total()
+	for i := 0; i < d.linkObs.Len(); i++ {
+		total += d.linkObs.At(i).Total()
 	}
 	if math.Abs(total-iv.epochHops) > 1e-6*(1+iv.epochHops) {
 		panic(fmt.Sprintf("core: invariant violated: link observations sum to %g, %g hop records were decoded this epoch",
@@ -53,7 +53,7 @@ func (iv *coreInvariants) onEpochReset(d *Dophy) {
 	// Decayed estimators keep (decayed) history; just resynchronise the
 	// counter with what actually survived the boundary.
 	iv.epochHops = 0
-	for _, obs := range d.linkObs {
-		iv.epochHops += obs.Total()
+	for i := 0; i < d.linkObs.Len(); i++ {
+		iv.epochHops += d.linkObs.At(i).Total()
 	}
 }

@@ -10,7 +10,6 @@ import (
 	"testing"
 
 	"dophy/internal/rng"
-	"dophy/internal/topo"
 )
 
 // smallScenario keeps tests fast.
@@ -115,7 +114,7 @@ func TestScoreAgainstTruth(t *testing.T) {
 
 func TestScoreEmptyScheme(t *testing.T) {
 	res := Run(smallScenario(13))
-	empty := &SchemeEpoch{Name: "none", Loss: map[topo.Link]float64{}}
+	empty := &SchemeEpoch{Name: "none"}
 	acc := Score(empty, res.Epochs[0].Truth, 10)
 	if !math.IsNaN(acc.MAE) || acc.Links != 0 {
 		t.Fatalf("empty scheme score = %+v", acc)

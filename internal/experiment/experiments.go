@@ -464,7 +464,7 @@ func F6(seed uint64) *Table {
 		// attempt belongs to the one link, dropped packets burned exactly m
 		// attempts each, so delivered packets used the remainder.
 		var sumT, nT float64
-		for _, c := range truth.Links {
+		for _, c := range truth.Counts {
 			if c.DataAttempts > 0 && truth.Delivered > 0 {
 				sumT = float64(c.DataAttempts) - float64(truth.Dropped)*float64(m)
 				nT = float64(truth.Delivered)

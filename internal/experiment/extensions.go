@@ -298,8 +298,8 @@ func T7(seed uint64) *Table {
 			eo := sess.RunEpoch()
 			rRep := recv.EndEpoch()
 			sRep := send.EndEpoch()
-			rAcc := Score(&SchemeEpoch{Name: "recv", Loss: rRep.Links}, eo.Truth, sc.MinTruthAttempts)
-			sAcc := Score(&SchemeEpoch{Name: "send", Loss: sRep.Links}, eo.Truth, sc.MinTruthAttempts)
+			rAcc := Score(&SchemeEpoch{Name: "recv", Table: rRep.Table, Loss: rRep.Loss}, eo.Truth, sc.MinTruthAttempts)
+			sAcc := Score(&SchemeEpoch{Name: "send", Table: sRep.Table, Loss: sRep.Loss}, eo.Truth, sc.MinTruthAttempts)
 			if !math.IsNaN(rAcc.MAE) {
 				recvMAE = append(recvMAE, rAcc.MAE)
 			}
@@ -356,23 +356,22 @@ func T8(seed uint64) *Table {
 	}
 	for _, eo := range res.Epochs {
 		se := eo.Schemes[SchemeDophy]
-		for l, est := range se.Loss {
-			truthC, ok := eo.Truth.Links[l]
+		for i, est := range se.Loss {
+			if math.IsNaN(est) {
+				continue
+			}
+			truth, ok := eo.Truth.Link(se.Table.Link(i)).Loss(sc.MinTruthAttempts)
 			if !ok {
 				continue
 			}
-			truth, ok := truthC.Loss(sc.MinTruthAttempts)
-			if !ok {
-				continue
-			}
-			stderr := se.StdErr[l]
+			stderr := se.StdErr[i]
 			if stderr <= 0 {
 				continue
 			}
-			bk := buckets[bucketOf(se.Samples[l])]
+			bk := buckets[bucketOf(se.Samples[i])]
 			if bk == nil {
 				bk = &bucket{}
-				buckets[bucketOf(se.Samples[l])] = bk
+				buckets[bucketOf(se.Samples[i])] = bk
 			}
 			bk.links++
 			if est-1.96*stderr <= truth && truth <= est+1.96*stderr {
@@ -500,7 +499,7 @@ func T10(seed uint64) *Table {
 			dRep := dist.EndEpoch()
 			cSe := eo.Schemes[SchemeDophy]
 			if dRep.Overhead.AnnotationBits != cSe.AnnotationBits ||
-				dRep.DecodeErrors != 0 || len(dRep.Links) != len(cSe.Loss) {
+				dRep.DecodeErrors != 0 || dRep.NumEstimated() != cSe.NumEstimated() {
 				identical = false
 			}
 			annotBits += dRep.Overhead.AnnotationBits

@@ -156,15 +156,20 @@ func DefaultScenario() Scenario {
 	}
 }
 
-// SchemeEpoch is one scheme's normalised per-epoch output.
+// SchemeEpoch is one scheme's normalised per-epoch output. Per-link values
+// are dense vectors indexed by Table; NaN in Loss marks links the scheme did
+// not estimate.
 type SchemeEpoch struct {
 	Name string
-	// Loss maps estimated links to per-attempt loss.
-	Loss map[topo.Link]float64
+	// Table indexes Loss/Samples/StdErr. Nil when the scheme reported
+	// nothing this epoch.
+	Table *topo.LinkTable
+	// Loss holds per-attempt loss per table index (NaN = not estimated).
+	Loss []float64
 	// Samples holds per-link observation counts (annotation schemes only).
-	Samples map[topo.Link]int64
+	Samples []int64
 	// StdErr holds per-link standard errors where the scheme provides them.
-	StdErr map[topo.Link]float64
+	StdErr []float64
 	// AnnotationBits / HeaderBits / ExtraBits decompose the epoch overhead
 	// (ExtraBits covers model dissemination).
 	AnnotationBits int64
@@ -176,6 +181,29 @@ type SchemeEpoch struct {
 	Packets         int64
 	Hops            int64
 	DecodeErrors    int64
+}
+
+// LossAt returns the scheme's estimate for one link.
+func (s *SchemeEpoch) LossAt(l topo.Link) (float64, bool) {
+	if s.Table == nil {
+		return 0, false
+	}
+	i := s.Table.Index(l)
+	if i < 0 || math.IsNaN(s.Loss[i]) {
+		return 0, false
+	}
+	return s.Loss[i], true
+}
+
+// NumEstimated counts links the scheme estimated this epoch.
+func (s *SchemeEpoch) NumEstimated() int {
+	n := 0
+	for _, v := range s.Loss {
+		if !math.IsNaN(v) {
+			n++
+		}
+	}
+	return n
 }
 
 // BitsPerPacket is the mean in-packet cost.
@@ -208,20 +236,19 @@ type Accuracy struct {
 // Score computes Accuracy for a scheme epoch against the trace epoch.
 func Score(se *SchemeEpoch, truth *trace.Epoch, minAttempts int64) Accuracy {
 	active := truth.ActiveLinks(minAttempts)
-	activeSet := make(map[topo.Link]float64, len(active))
-	for _, l := range active {
-		loss, _ := truth.Links[l].Loss(minAttempts)
-		activeSet[l] = loss
-	}
-	// Deterministic order: float summation is not associative, so map
-	// iteration order must not leak into the metrics.
+	// Table order is ascending (From, To), so the float summations below
+	// visit links deterministically without any sort.
 	var est, tru []float64
-	for _, l := range sortedLinks(se.Loss) {
-		lossTrue, ok := activeSet[l]
-		if !ok {
+	for i, loss := range se.Loss {
+		if math.IsNaN(loss) {
 			continue
 		}
-		est = append(est, se.Loss[l])
+		c := truth.Link(se.Table.Link(i))
+		if c.DataAttempts < minAttempts || c.Attempts == 0 {
+			continue
+		}
+		lossTrue, _ := c.Loss(minAttempts)
+		est = append(est, loss)
 		tru = append(tru, lossTrue)
 	}
 	acc := Accuracy{Links: len(est)}
@@ -242,21 +269,6 @@ func Score(se *SchemeEpoch, truth *trace.Epoch, minAttempts int64) Accuracy {
 	}
 	sort.Float64s(acc.Errors)
 	return acc
-}
-
-// sortedLinks returns the keys of a link map in deterministic order.
-func sortedLinks(m map[topo.Link]float64) []topo.Link {
-	out := make([]topo.Link, 0, len(m))
-	for l := range m {
-		out = append(out, l)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].From != out[j].From {
-			return out[i].From < out[j].From
-		}
-		return out[i].To < out[j].To
-	})
-	return out
 }
 
 // EpochOutcome bundles everything observed in one epoch.
@@ -309,6 +321,7 @@ const (
 type Session struct {
 	sc       Scenario
 	tp       *topo.Topology
+	lt       *topo.LinkTable
 	eng      *sim.Engine
 	rec      *trace.Recorder
 	nw       *collect.Network
@@ -319,8 +332,8 @@ type Session struct {
 	compact  *pathrecord.Recorder
 	huff     *pathrecord.Recorder
 	obsCol   *epochobs.Collector
-	mcfg     minc.Config
-	lcfg     lsq.Config
+	mincEst  *minc.Estimator
+	lsqEst   *lsq.Estimator
 
 	perPacket      []PacketSample
 	epoch          int
@@ -334,7 +347,8 @@ func NewSession(sc Scenario) *Session {
 	tp := sc.Topo.Build(root.Split())
 	model := sc.Radio.Build(tp, sc.Seed^0x9e3779b97f4a7c15)
 	eng := sim.New()
-	rec := trace.NewRecorder()
+	lt := tp.LinkTable()
+	rec := trace.NewRecorder(lt)
 	arq := mac.New(sc.Mac, model, root.Split(), rec)
 	proto := routing.New(sc.Routing, eng, tp, model, root.Split(), rec)
 	nw := collect.New(sc.Collect, eng, tp, arq, proto, root.Split(), rec)
@@ -344,7 +358,7 @@ func NewSession(sc Scenario) *Session {
 	if dcfg.AggThreshold >= dcfg.MaxAttempts {
 		dcfg.AggThreshold = 0 // aggregation meaningless for tiny budgets
 	}
-	s := &Session{sc: sc, tp: tp, eng: eng, rec: rec, nw: nw, proto: proto}
+	s := &Session{sc: sc, tp: tp, lt: lt, eng: eng, rec: rec, nw: nw, proto: proto}
 	s.dophyEng = core.New(tp, dcfg)
 	naCfg := dcfg
 	naCfg.AggThreshold = 0
@@ -359,11 +373,13 @@ func NewSession(sc Scenario) *Session {
 	s.raw = pathrecord.New(tp, prCfg(pathrecord.Raw))
 	s.compact = pathrecord.New(tp, prCfg(pathrecord.Compact))
 	s.huff = pathrecord.New(tp, prCfg(pathrecord.Huffman))
-	s.obsCol = epochobs.New(tp.N())
-	s.mcfg = minc.DefaultConfig()
-	s.mcfg.MaxAttempts = dcfg.MaxAttempts
-	s.lcfg = lsq.DefaultConfig()
-	s.lcfg.MaxAttempts = dcfg.MaxAttempts
+	s.obsCol = epochobs.New(lt)
+	mcfg := minc.DefaultConfig()
+	mcfg.MaxAttempts = dcfg.MaxAttempts
+	s.mincEst = minc.NewEstimator(lt, mcfg)
+	lcfg := lsq.DefaultConfig()
+	lcfg.MaxAttempts = dcfg.MaxAttempts
+	s.lsqEst = lsq.NewEstimator(lt, lcfg)
 
 	nw.Subscribe(func(j *collect.PacketJourney) {
 		bits := s.dophyEng.OnJourney(j)
@@ -413,8 +429,8 @@ func (s *Session) RunEpoch() *EpochOutcome {
 	eo.Schemes[SchemeCompact] = fromPathRecord(SchemeCompact, s.compact.EndEpoch())
 	eo.Schemes[SchemeHuffman] = fromPathRecord(SchemeHuffman, s.huff.EndEpoch())
 	obsEpoch := s.obsCol.EndEpoch()
-	eo.Schemes[SchemeMINC] = &SchemeEpoch{Name: SchemeMINC, Loss: minc.Estimate(obsEpoch, s.mcfg)}
-	eo.Schemes[SchemeLSQ] = &SchemeEpoch{Name: SchemeLSQ, Loss: lsq.Estimate(obsEpoch, s.lcfg)}
+	eo.Schemes[SchemeMINC] = &SchemeEpoch{Name: SchemeMINC, Table: s.lt, Loss: s.mincEst.Estimate(obsEpoch)}
+	eo.Schemes[SchemeLSQ] = &SchemeEpoch{Name: SchemeLSQ, Table: s.lt, Loss: s.lsqEst.Estimate(obsEpoch)}
 	eo.PerPacket = s.perPacket
 	s.perPacket = nil
 	eo.QueueDrops = s.nw.QueueDrops - s.lastQueueDrops
@@ -446,9 +462,10 @@ func Run(sc Scenario) *RunResult {
 func fromDophy(name string, rep *core.EpochReport) *SchemeEpoch {
 	se := &SchemeEpoch{
 		Name:            name,
-		Loss:            make(map[topo.Link]float64, len(rep.Links)),
-		Samples:         make(map[topo.Link]int64, len(rep.Links)),
-		StdErr:          make(map[topo.Link]float64, len(rep.Links)),
+		Table:           rep.Table,
+		Loss:            make([]float64, len(rep.Est)),
+		Samples:         make([]int64, len(rep.Est)),
+		StdErr:          make([]float64, len(rep.Est)),
 		AnnotationBits:  rep.Overhead.AnnotationBits,
 		HeaderBits:      rep.Overhead.HeaderBits,
 		ExtraBits:       rep.Overhead.DisseminationBits,
@@ -457,10 +474,10 @@ func fromDophy(name string, rep *core.EpochReport) *SchemeEpoch {
 		Hops:            rep.Overhead.Hops,
 		DecodeErrors:    rep.DecodeErrors,
 	}
-	for l, est := range rep.Links {
-		se.Loss[l] = est.Loss
-		se.Samples[l] = est.Samples
-		se.StdErr[l] = est.StdErr
+	for i, est := range rep.Est {
+		se.Loss[i] = est.Loss // NaN marks not-estimated, as in the report
+		se.Samples[i] = est.Samples
+		se.StdErr[i] = est.StdErr
 	}
 	return se
 }
@@ -468,7 +485,8 @@ func fromDophy(name string, rep *core.EpochReport) *SchemeEpoch {
 func fromPathRecord(name string, rep *pathrecord.EpochReport) *SchemeEpoch {
 	return &SchemeEpoch{
 		Name:            name,
-		Loss:            rep.Links,
+		Table:           rep.Table,
+		Loss:            rep.Loss,
 		Samples:         rep.Samples,
 		AnnotationBits:  rep.Overhead.AnnotationBits,
 		HeaderBits:      rep.Overhead.HeaderBits,

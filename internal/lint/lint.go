@@ -31,7 +31,7 @@ type Rule interface {
 
 // AllRules returns the full rule catalogue.
 func AllRules() []Rule {
-	return []Rule{ruleRand{}, ruleWallTime{}, ruleMapRange{}, ruleGoStmt{}, rulePoolEscape{}}
+	return []Rule{ruleRand{}, ruleWallTime{}, ruleMapRange{}, ruleGoStmt{}, rulePoolEscape{}, ruleDenseBound{}}
 }
 
 // PragmaPrefix introduces an in-source waiver comment:

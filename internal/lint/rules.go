@@ -463,6 +463,90 @@ func containsPooled(t types.Type, pooled map[types.Object]bool, depth int) types
 	return nil
 }
 
+// ---------------------------------------------------------------------------
+// Rule densebound: estimation-pipeline state is indexed by topo.LinkTable.
+//
+// The estimation pipeline keeps per-link state in flat vectors indexed by
+// the topology's immutable link table; a map[topo.Link] struct field in
+// these packages reintroduces the per-epoch hashing and allocation churn the
+// dense refactor removed (DESIGN.md "Dense link indexing"). Deliberate
+// boundary shapes can carry a //dophy:allow densebound waiver.
+// ---------------------------------------------------------------------------
+
+type ruleDenseBound struct{}
+
+func (ruleDenseBound) Name() string { return "densebound" }
+
+// denseBoundRestricted are the module-relative package prefixes whose
+// per-link state must be dense.
+var denseBoundRestricted = []string{"internal/tomo", "internal/trace", "internal/experiment"}
+
+func (ruleDenseBound) Check(m *Module, pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	restricted := false
+	for _, p := range denseBoundRestricted {
+		if pkg.RelPath == p || strings.HasPrefix(pkg.RelPath, p+"/") {
+			restricted = true
+			break
+		}
+	}
+	if !restricted {
+		return
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file.AST, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				tv, ok := pkg.Info.Types[field.Type]
+				if !ok || tv.Type == nil {
+					continue
+				}
+				if obj := linkKeyedMap(m, tv.Type, 0); obj != nil {
+					report(field.Pos(), "struct field keyed by %s.Link: per-link state in %s is dense, indexed by topo.LinkTable",
+						obj.Pkg().Name(), pkg.RelPath)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// linkKeyedMap walks a type's unnamed structure looking for a map keyed by
+// the topology package's Link type. Like containsPooled it does not descend
+// into named types: a field of a named type is that type's own business.
+func linkKeyedMap(m *Module, t types.Type, depth int) types.Object {
+	if depth > 8 {
+		return nil
+	}
+	switch v := t.(type) {
+	case *types.Map:
+		if named, ok := v.Key().(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "Link" && obj.Pkg() != nil && obj.Pkg().Path() == m.Path+"/internal/topo" {
+				return obj
+			}
+		}
+		return linkKeyedMap(m, v.Elem(), depth+1)
+	case *types.Pointer:
+		return linkKeyedMap(m, v.Elem(), depth+1)
+	case *types.Slice:
+		return linkKeyedMap(m, v.Elem(), depth+1)
+	case *types.Array:
+		return linkKeyedMap(m, v.Elem(), depth+1)
+	case *types.Chan:
+		return linkKeyedMap(m, v.Elem(), depth+1)
+	case *types.Struct:
+		for i := 0; i < v.NumFields(); i++ {
+			if obj := linkKeyedMap(m, v.Field(i).Type(), depth+1); obj != nil {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
 // importSpecs returns the import specs for the given path in the file.
 func importSpecs(f *ast.File, path string) []*ast.ImportSpec {
 	var out []*ast.ImportSpec

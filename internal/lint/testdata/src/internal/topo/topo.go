@@ -1,0 +1,6 @@
+// Package topo is a stand-in for the real topology package, providing the
+// Link type the densebound rule keys on.
+package topo
+
+// Link is a directed link between adjacent nodes.
+type Link struct{ From, To int }

@@ -1,0 +1,32 @@
+// Package trace violates the dense-indexing contract: per-link state in the
+// restricted packages lives in flat vectors indexed by the link table, not
+// in maps keyed by topo.Link.
+package trace
+
+import "fixture/internal/topo"
+
+// Recorder keys hot-path counters by link.
+type Recorder struct {
+	counts map[topo.Link]int64 // want "keyed by topo.Link"
+}
+
+// Nested hides the link-keyed map one container deep.
+type Nested struct {
+	byEpoch []map[topo.Link]float64 // want "keyed by topo.Link"
+}
+
+// Boundary is a deliberate map-shaped export, waived with a justification.
+type Boundary struct {
+	//dophy:allow densebound -- public boundary keeps the map shape for callers
+	Links map[topo.Link]float64
+}
+
+// Dense is the approved shape: flat state plus the table that indexes it.
+type Dense struct {
+	counts []int64
+}
+
+// ByName maps on a non-Link key, which is fine.
+type ByName struct {
+	schemes map[string]int
+}

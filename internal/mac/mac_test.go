@@ -127,7 +127,7 @@ func TestAckLossStillDelivers(t *testing.T) {
 }
 
 func TestTraceRecording(t *testing.T) {
-	rec := trace.NewRecorder()
+	rec := trace.NewRecorder(chainTopo().LinkTable())
 	a := newARQ(0.5, Config{MaxRetx: 7}, rec)
 	totalAttempts := 0
 	for i := 0; i < 1000; i++ {

@@ -39,15 +39,28 @@ func (m *Dense) MulVec(x []float64) []float64 {
 		panic(fmt.Sprintf("mat: MulVec dimension mismatch %d vs %d", len(x), m.Cols))
 	}
 	out := make([]float64, m.Rows)
+	m.MulVecTo(out, x)
+	return out
+}
+
+// MulVecTo computes A*x into dst, which must have length Rows. It lets
+// iterative solvers reuse one gradient buffer instead of allocating per
+// step.
+func (m *Dense) MulVecTo(dst, x []float64) {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("mat: MulVecTo dimension mismatch %d vs %d", len(x), m.Cols))
+	}
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("mat: MulVecTo dst length %d, want %d", len(dst), m.Rows))
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.data[i*m.Cols : (i+1)*m.Cols]
 		s := 0.0
 		for j, a := range row {
 			s += a * x[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
 }
 
 // TMulVec returns A^T * y.
@@ -178,9 +191,10 @@ func NNLS(a *Dense, b []float64, iters int, tol float64) []float64 {
 	}
 	step := 1 / lip
 	atb := a.TMulVec(b)
+	grad := make([]float64, g.Rows)
 	for it := 0; it < iters; it++ {
 		// grad = G x - A^T b
-		grad := g.MulVec(x)
+		g.MulVecTo(grad, x)
 		moved := 0.0
 		for j := range x {
 			nx := x[j] - step*(grad[j]-atb[j])

@@ -23,7 +23,7 @@ func bootstrapped(t *testing.T, n int, loss float64, seed uint64) (*Protocol, *s
 	tp := chainTopo(n)
 	eng := sim.New()
 	model := radio.NewStaticUniformLoss(tp, loss)
-	rec := trace.NewRecorder()
+	rec := trace.NewRecorder(tp.LinkTable())
 	p := New(DefaultConfig(), eng, tp, model, rng.New(seed), rec)
 	p.Start()
 	eng.Run(300)
@@ -99,7 +99,7 @@ func TestParentSwitchOnDegradedLink(t *testing.T) {
 	tp := topo.Grid(3, 10, 0, 15, rng.New(6))
 	eng := sim.New()
 	model := radio.NewStaticUniformLoss(tp, 0)
-	rec := trace.NewRecorder()
+	rec := trace.NewRecorder(tp.LinkTable())
 	p := New(DefaultConfig(), eng, tp, model, rng.New(7), rec)
 	p.Start()
 	eng.Run(200)
@@ -128,7 +128,7 @@ func TestRandomizeParentForcesChurn(t *testing.T) {
 
 	run := func(prob float64) int64 {
 		eng := sim.New()
-		rec := trace.NewRecorder()
+		rec := trace.NewRecorder(tp.LinkTable())
 		cfg := DefaultConfig()
 		cfg.RandomizeParentProb = prob
 		p := New(cfg, eng, tp, model, rng.New(9), rec)
@@ -149,7 +149,7 @@ func TestBeaconsRecordedInTrace(t *testing.T) {
 	tp := chainTopo(3)
 	eng := sim.New()
 	model := radio.NewStaticUniformLoss(tp, 0)
-	rec := trace.NewRecorder()
+	rec := trace.NewRecorder(tp.LinkTable())
 	p := New(DefaultConfig(), eng, tp, model, rng.New(10), rec)
 	p.Start()
 	eng.Run(100)
@@ -233,7 +233,7 @@ func TestAdaptiveBeaconReducesOverhead(t *testing.T) {
 			cfg.BeaconMax = cfg.BeaconPeriod * 16
 			cfg.TrickleReset = 1
 		}
-		p := New(cfg, eng, tp, model, rng.New(42), trace.NewRecorder())
+		p := New(cfg, eng, tp, model, rng.New(42), trace.NewRecorder(tp.LinkTable()))
 		p.Start()
 		eng.Run(2000)
 		return p.BeaconsSent
@@ -254,7 +254,7 @@ func TestAdaptiveBeaconStillBootstraps(t *testing.T) {
 	cfg.BeaconMin = 2
 	cfg.BeaconMax = 64
 	cfg.TrickleReset = 0.5
-	p := New(cfg, eng, tp, model, rng.New(43), trace.NewRecorder())
+	p := New(cfg, eng, tp, model, rng.New(43), trace.NewRecorder(tp.LinkTable()))
 	p.Start()
 	eng.Run(300)
 	if got := p.Routed(); got != tp.N()-1 {
@@ -273,7 +273,7 @@ func TestAdaptiveBeaconResetOnChange(t *testing.T) {
 	cfg.BeaconMin = 2
 	cfg.BeaconMax = 128
 	cfg.TrickleReset = 0.5
-	rec := trace.NewRecorder()
+	rec := trace.NewRecorder(tp.LinkTable())
 	p := New(cfg, eng, tp, model, rng.New(45), rec)
 	p.Start()
 	eng.Run(1500) // intervals saturate at BeaconMax

@@ -31,12 +31,12 @@ type Epoch struct {
 // hits a node without a parent or loops.
 func (e *Epoch) PathToSink(origin topo.NodeID) (links []topo.Link, ok bool) {
 	cur := origin
-	seen := make(map[topo.NodeID]bool)
 	for cur != topo.Sink {
-		if seen[cur] {
+		// A loop-free walk visits each node at most once; more links than
+		// nodes means the tree has a cycle.
+		if len(links) >= len(e.Tree) {
 			return nil, false
 		}
-		seen[cur] = true
 		p := e.Tree[cur]
 		if p < 0 {
 			return nil, false
@@ -47,23 +47,52 @@ func (e *Epoch) PathToSink(origin topo.NodeID) (links []topo.Link, ok bool) {
 	return links, true
 }
 
+// AppendPathIndices appends the table indices of origin's dominant-tree
+// path (origin side first) to buf and returns the extended slice. ok is
+// false — with buf restored to its original length — when the walk hits a
+// node without a parent, loops, or crosses a pair that is not a topology
+// link.
+func (e *Epoch) AppendPathIndices(lt *topo.LinkTable, origin topo.NodeID, buf []int32) (_ []int32, ok bool) {
+	start := len(buf)
+	cur := origin
+	for cur != topo.Sink {
+		if len(buf)-start >= len(e.Tree) {
+			return buf[:start], false
+		}
+		p := e.Tree[cur]
+		if p < 0 {
+			return buf[:start], false
+		}
+		i := lt.Index(topo.Link{From: cur, To: p})
+		if i < 0 {
+			return buf[:start], false
+		}
+		buf = append(buf, int32(i))
+		cur = p
+	}
+	return buf, true
+}
+
 // Collector accumulates observations and cuts them into epochs.
 type Collector struct {
+	lt        *topo.LinkTable
 	n         int
 	delivered []int64
 	maxSeq    []int64 // highest sequence seen this epoch (0 = none)
 	lastSeq   []int64 // highest sequence seen in any previous epoch
-	votes     []map[topo.NodeID]int64
+	votes     []int64 // per-link parent votes, indexed by lt
 }
 
-// New builds a collector for n nodes.
-func New(n int) *Collector {
+// New builds a collector over the given link table.
+func New(lt *topo.LinkTable) *Collector {
+	n := lt.Nodes()
 	c := &Collector{
+		lt:        lt,
 		n:         n,
 		delivered: make([]int64, n),
 		maxSeq:    make([]int64, n),
 		lastSeq:   make([]int64, n),
-		votes:     make([]map[topo.NodeID]int64, n),
+		votes:     make([]int64, lt.Len()),
 	}
 	return c
 }
@@ -80,12 +109,7 @@ func (c *Collector) OnJourney(j *collect.PacketJourney) {
 		c.maxSeq[o] = j.Seq
 	}
 	for _, h := range j.Hops {
-		m := c.votes[h.Link.From]
-		if m == nil {
-			m = make(map[topo.NodeID]int64)
-			c.votes[h.Link.From] = m
-		}
-		m[h.Link.To]++
+		c.votes[c.lt.Index(h.Link)]++
 	}
 }
 
@@ -107,16 +131,19 @@ func (c *Collector) EndEpoch() *Epoch {
 			// Reordering across the epoch boundary: clamp.
 			e.Expected[i] = e.Delivered[i]
 		}
+		// The node span enumerates candidate parents in ascending To order,
+		// so keeping the first maximum is the deterministic tie-break.
 		best := int64(0)
-		for to, v := range c.votes[i] {
-			if v > best || (v == best && best > 0 && to < e.Tree[i]) {
+		lo, hi := c.lt.NodeSpan(topo.NodeID(i))
+		for j := lo; j < hi; j++ {
+			if v := c.votes[j]; v > best {
 				best = v
-				e.Tree[i] = to
+				e.Tree[i] = c.lt.Link(j).To
 			}
 		}
 		c.delivered[i] = 0
 		c.maxSeq[i] = 0
-		c.votes[i] = nil
 	}
+	clear(c.votes)
 	return e
 }

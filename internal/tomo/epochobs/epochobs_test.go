@@ -7,6 +7,11 @@ import (
 	"dophy/internal/topo"
 )
 
+// chainTable builds the link table of an n-node chain (i adjacent to i±1).
+func chainTable(n int) *topo.LinkTable {
+	return topo.Chain(n, 10, 10.5).LinkTable()
+}
+
 func delivered(origin topo.NodeID, seq int64, path []topo.NodeID) *collect.PacketJourney {
 	j := &collect.PacketJourney{Origin: origin, Seq: seq, Delivered: true}
 	for i := 0; i < len(path)-1; i++ {
@@ -16,7 +21,7 @@ func delivered(origin topo.NodeID, seq int64, path []topo.NodeID) *collect.Packe
 }
 
 func TestDeliveryAndExpectedCounts(t *testing.T) {
-	c := New(3)
+	c := New(chainTable(3))
 	c.OnJourney(delivered(2, 1, []topo.NodeID{2, 1, 0}))
 	c.OnJourney(delivered(2, 2, []topo.NodeID{2, 1, 0}))
 	c.OnJourney(delivered(2, 5, []topo.NodeID{2, 1, 0})) // seqs 3,4 lost
@@ -30,7 +35,7 @@ func TestDeliveryAndExpectedCounts(t *testing.T) {
 }
 
 func TestExpectedAcrossEpochs(t *testing.T) {
-	c := New(2)
+	c := New(chainTable(2))
 	c.OnJourney(delivered(1, 10, []topo.NodeID{1, 0}))
 	c.EndEpoch()
 	c.OnJourney(delivered(1, 14, []topo.NodeID{1, 0}))
@@ -44,7 +49,7 @@ func TestExpectedAcrossEpochs(t *testing.T) {
 }
 
 func TestDroppedJourneysIgnored(t *testing.T) {
-	c := New(2)
+	c := New(chainTable(2))
 	j := delivered(1, 1, []topo.NodeID{1, 0})
 	j.Delivered = false
 	c.OnJourney(j)
@@ -55,7 +60,9 @@ func TestDroppedJourneysIgnored(t *testing.T) {
 }
 
 func TestDominantTree(t *testing.T) {
-	c := New(4)
+	// Diamond: 3 adjacent to 1 and 2; 1 and 2 adjacent to the sink.
+	tp := topo.FromPoints([]topo.Point{{X: 0, Y: 0}, {X: 5, Y: 0}, {X: 0, Y: 5}, {X: 5, Y: 5}}, 6)
+	c := New(tp.LinkTable())
 	// Node 3 forwards mostly via 1, occasionally via 2.
 	for i := 0; i < 8; i++ {
 		c.OnJourney(delivered(3, int64(i+1), []topo.NodeID{3, 1, 0}))
@@ -103,8 +110,35 @@ func TestPathToSinkLoop(t *testing.T) {
 	}
 }
 
+func TestAppendPathIndices(t *testing.T) {
+	lt := chainTable(4)
+	e := &Epoch{Tree: []topo.NodeID{-1, 0, 1, 2}}
+	buf := []int32{99} // pre-existing content must survive
+	buf, ok := e.AppendPathIndices(lt, 3, buf)
+	if !ok || len(buf) != 4 {
+		t.Fatalf("indices = %v ok=%v", buf, ok)
+	}
+	want := []topo.Link{{From: 3, To: 2}, {From: 2, To: 1}, {From: 1, To: 0}}
+	for i, l := range want {
+		if got := lt.Link(int(buf[i+1])); got != l {
+			t.Fatalf("index %d resolves to %v, want %v", buf[i+1], got, l)
+		}
+	}
+
+	// Loop and no-route walks restore the buffer.
+	loop := &Epoch{Tree: []topo.NodeID{-1, 2, 1, -1}}
+	if out, ok := loop.AppendPathIndices(lt, 1, buf[:1]); ok || len(out) != 1 {
+		t.Fatalf("loop walk: out=%v ok=%v", out, ok)
+	}
+	// A tree edge that is not a topology link is rejected.
+	far := &Epoch{Tree: []topo.NodeID{-1, 0, 0, -1}} // 2->0 skips a hop
+	if _, ok := far.AppendPathIndices(lt, 2, nil); ok {
+		t.Fatal("non-link tree edge accepted")
+	}
+}
+
 func TestEpochResets(t *testing.T) {
-	c := New(2)
+	c := New(chainTable(2))
 	c.OnJourney(delivered(1, 3, []topo.NodeID{1, 0}))
 	c.EndEpoch()
 	e := c.EndEpoch()
@@ -114,7 +148,7 @@ func TestEpochResets(t *testing.T) {
 }
 
 func TestClampExpectedToDelivered(t *testing.T) {
-	c := New(2)
+	c := New(chainTable(2))
 	// Reordering: a packet with a lower seq than the previous epoch's max.
 	c.OnJourney(delivered(1, 10, []topo.NodeID{1, 0}))
 	c.EndEpoch()

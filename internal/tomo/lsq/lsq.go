@@ -39,21 +39,49 @@ func DefaultConfig() Config {
 	return Config{MaxAttempts: 8, MinExpected: 5, Iters: 4000, Tol: 1e-10}
 }
 
-// Estimate runs the baseline over one epoch of sink observations and
-// returns per-link per-attempt loss estimates for every link on a usable
-// path.
-func Estimate(e *epochobs.Epoch, cfg Config) map[topo.Link]float64 {
+// Estimator solves the baseline for successive epochs of one topology,
+// reusing its row/column scratch across calls. Only the solver matrix and
+// the returned estimate vector are allocated per epoch.
+type Estimator struct {
+	cfg Config
+	lt  *topo.LinkTable
+
+	// colOf maps table index -> compact solver column (-1 = not on any
+	// usable path this epoch); cols is the inverse, in first-encounter
+	// order over origins — the column order the NNLS solve has always used.
+	colOf    []int32
+	cols     []int32
+	pathBuf  []int32 // all rows' link indices, flattened
+	rowStart []int32 // pathBuf offset per row, plus a final sentinel
+	b        []float64
+}
+
+// NewEstimator validates the configuration and binds it to a link table.
+func NewEstimator(lt *topo.LinkTable, cfg Config) *Estimator {
 	if cfg.MaxAttempts < 1 {
 		panic("lsq: MaxAttempts must be >= 1")
 	}
-	// Gather usable origins and the link set their tree paths cover.
-	type row struct {
-		links []topo.Link
-		b     float64
+	est := &Estimator{cfg: cfg, lt: lt, colOf: make([]int32, lt.Len())}
+	for i := range est.colOf {
+		est.colOf[i] = -1
 	}
-	var rows []row
-	linkIdx := make(map[topo.Link]int)
-	var links []topo.Link
+	return est
+}
+
+// Estimate runs the baseline over one epoch of sink observations. The
+// result is dense, indexed by the link table; NaN marks links not on any
+// usable path. The caller owns the returned slice.
+func (est *Estimator) Estimate(e *epochobs.Epoch) []float64 {
+	cfg := est.cfg
+	for _, c := range est.cols {
+		est.colOf[c] = -1
+	}
+	est.cols = est.cols[:0]
+	est.pathBuf = est.pathBuf[:0]
+	est.rowStart = est.rowStart[:0]
+	est.b = est.b[:0]
+
+	// Gather usable origins and the link set their tree paths cover.
 	for origin := range e.Delivered {
 		id := topo.NodeID(origin)
 		if id == topo.Sink {
@@ -63,7 +91,9 @@ func Estimate(e *epochobs.Epoch, cfg Config) map[topo.Link]float64 {
 		if n < cfg.MinExpected {
 			continue
 		}
-		path, ok := e.PathToSink(id)
+		mark := len(est.pathBuf)
+		buf, ok := e.AppendPathIndices(est.lt, id, est.pathBuf)
+		est.pathBuf = buf
 		if !ok {
 			continue
 		}
@@ -76,30 +106,35 @@ func Estimate(e *epochobs.Epoch, cfg Config) map[topo.Link]float64 {
 		if dr > 1 {
 			dr = 1
 		}
-		rows = append(rows, row{links: path, b: -math.Log(dr)})
-		for _, l := range path {
-			if _, seen := linkIdx[l]; !seen {
-				linkIdx[l] = len(links)
-				links = append(links, l)
+		est.rowStart = append(est.rowStart, int32(mark))
+		est.b = append(est.b, -math.Log(dr))
+		for _, li := range est.pathBuf[mark:] {
+			if est.colOf[li] < 0 {
+				est.colOf[li] = int32(len(est.cols))
+				est.cols = append(est.cols, li)
 			}
 		}
 	}
-	if len(rows) == 0 || len(links) == 0 {
-		return map[topo.Link]float64{}
+	est.rowStart = append(est.rowStart, int32(len(est.pathBuf)))
+
+	out := make([]float64, est.lt.Len())
+	for i := range out {
+		out[i] = math.NaN()
 	}
-	a := mat.NewDense(len(rows), len(links))
-	b := make([]float64, len(rows))
-	for i, r := range rows {
-		b[i] = r.b
-		for _, l := range r.links {
-			a.Set(i, linkIdx[l], 1)
+	rows := len(est.b)
+	if rows == 0 || len(est.cols) == 0 {
+		return out
+	}
+	a := mat.NewDense(rows, len(est.cols))
+	for i := 0; i < rows; i++ {
+		for _, li := range est.pathBuf[est.rowStart[i]:est.rowStart[i+1]] {
+			a.Set(i, int(est.colOf[li]), 1)
 		}
 	}
-	x := mat.NNLS(a, b, cfg.Iters, cfg.Tol)
-	out := make(map[topo.Link]float64, len(links))
-	for l, j := range linkIdx {
+	x := mat.NNLS(a, est.b, cfg.Iters, cfg.Tol)
+	for j, li := range est.cols {
 		drop := 1 - math.Exp(-x[j]) // per-hop post-ARQ drop probability
-		out[l] = geomle.LossFromDrop(drop, cfg.MaxAttempts)
+		out[li] = geomle.LossFromDrop(drop, cfg.MaxAttempts)
 	}
 	return out
 }

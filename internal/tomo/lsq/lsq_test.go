@@ -9,6 +9,30 @@ import (
 	"dophy/internal/topo"
 )
 
+// chainTable is the link table of an n-node chain matching chainEpoch's
+// tree.
+func chainTable(nodes int) *topo.LinkTable {
+	return topo.Chain(nodes, 10, 10.5).LinkTable()
+}
+
+// starTable covers the tree {-1,0,1,1}: 1 adjacent to the sink, 2 and 3
+// adjacent to 1.
+func starTable() *topo.LinkTable {
+	return topo.FromPoints([]topo.Point{{X: 0, Y: 0}, {X: 5, Y: 0}, {X: 5, Y: 5}, {X: 5, Y: -5}}, 5.5).LinkTable()
+}
+
+// toMap converts a dense estimate vector to the map shape the assertions
+// index by, dropping NaN (not-estimated) entries.
+func toMap(lt *topo.LinkTable, est []float64) map[topo.Link]float64 {
+	out := map[topo.Link]float64{}
+	for i, v := range est {
+		if !math.IsNaN(v) {
+			out[lt.Link(i)] = v
+		}
+	}
+	return out
+}
+
 // chainEpoch builds an epoch over the tree 3->2->1->0 where every node sent
 // n packets and per-hop drop probabilities are given (index i = link from
 // node i+1... see below).
@@ -37,7 +61,8 @@ func TestRecoversChainDrops(t *testing.T) {
 	drops := []float64{0.02, 0.05, 0.1}
 	e := chainEpoch(100000, drops)
 	cfg := DefaultConfig()
-	got := Estimate(e, cfg)
+	lt := chainTable(4)
+	got := toMap(lt, NewEstimator(lt, cfg).Estimate(e))
 	if len(got) != 3 {
 		t.Fatalf("estimated %d links", len(got))
 	}
@@ -52,7 +77,8 @@ func TestRecoversChainDrops(t *testing.T) {
 
 func TestPerfectDeliveryZeroLoss(t *testing.T) {
 	e := chainEpoch(1000, []float64{0, 0})
-	got := Estimate(e, DefaultConfig())
+	lt := chainTable(3)
+	got := toMap(lt, NewEstimator(lt, DefaultConfig()).Estimate(e))
 	for l, loss := range got {
 		if loss > 0.01 {
 			t.Fatalf("lossless link %v estimated at %v", l, loss)
@@ -62,7 +88,8 @@ func TestPerfectDeliveryZeroLoss(t *testing.T) {
 
 func TestSkipsUnderSampledOrigins(t *testing.T) {
 	e := chainEpoch(2, []float64{0.1}) // below MinExpected
-	got := Estimate(e, DefaultConfig())
+	lt := chainTable(2)
+	got := toMap(lt, NewEstimator(lt, DefaultConfig()).Estimate(e))
 	if len(got) != 0 {
 		t.Fatalf("under-sampled epoch produced estimates: %v", got)
 	}
@@ -71,7 +98,8 @@ func TestSkipsUnderSampledOrigins(t *testing.T) {
 func TestSkipsUnroutedOrigins(t *testing.T) {
 	e := chainEpoch(1000, []float64{0.1, 0.1})
 	e.Tree[1] = -1 // break the shared tail; origins 1 and 2 lose their paths
-	got := Estimate(e, DefaultConfig())
+	lt := chainTable(3)
+	got := toMap(lt, NewEstimator(lt, DefaultConfig()).Estimate(e))
 	if len(got) != 0 {
 		t.Fatalf("unroutable origins produced estimates: %v", got)
 	}
@@ -80,7 +108,8 @@ func TestSkipsUnroutedOrigins(t *testing.T) {
 func TestZeroDeliveryClamped(t *testing.T) {
 	e := chainEpoch(100, []float64{0.5})
 	e.Delivered[1] = 0 // nothing arrived
-	got := Estimate(e, DefaultConfig())
+	lt := chainTable(2)
+	got := toMap(lt, NewEstimator(lt, DefaultConfig()).Estimate(e))
 	l := topo.Link{From: 1, To: 0}
 	if got[l] <= 0 || got[l] > 1 || math.IsInf(got[l], 0) || math.IsNaN(got[l]) {
 		t.Fatalf("zero-delivery estimate = %v", got[l])
@@ -89,7 +118,8 @@ func TestZeroDeliveryClamped(t *testing.T) {
 
 func TestEmptyEpoch(t *testing.T) {
 	e := &epochobs.Epoch{Delivered: make([]int64, 3), Expected: make([]int64, 3), Tree: []topo.NodeID{-1, -1, -1}}
-	if got := Estimate(e, DefaultConfig()); len(got) != 0 {
+	lt := chainTable(3)
+	if got := toMap(lt, NewEstimator(lt, DefaultConfig()).Estimate(e)); len(got) != 0 {
 		t.Fatalf("empty epoch gave %v", got)
 	}
 }
@@ -100,7 +130,23 @@ func TestPanicsOnBadConfig(t *testing.T) {
 			t.Fatal("MaxAttempts 0 accepted")
 		}
 	}()
-	Estimate(chainEpoch(10, []float64{0.1}), Config{MaxAttempts: 0})
+	NewEstimator(chainTable(2), Config{MaxAttempts: 0})
+}
+
+func TestEstimatorReuseAcrossEpochs(t *testing.T) {
+	// The same estimator must give identical answers on repeated epochs —
+	// scratch reuse must not leak state across calls.
+	lt := chainTable(4)
+	est := NewEstimator(lt, DefaultConfig())
+	first := est.Estimate(chainEpoch(100000, []float64{0.02, 0.05, 0.1}))
+	est.Estimate(chainEpoch(1000, []float64{0, 0, 0})) // interleaved epoch
+	again := est.Estimate(chainEpoch(100000, []float64{0.02, 0.05, 0.1}))
+	for i := range first {
+		a, b := first[i], again[i]
+		if math.IsNaN(a) != math.IsNaN(b) || (!math.IsNaN(a) && a != b) {
+			t.Fatalf("link %v: %v then %v across reuse", lt.Link(i), a, b)
+		}
+	}
 }
 
 func TestBranchyTree(t *testing.T) {
@@ -116,7 +162,8 @@ func TestBranchyTree(t *testing.T) {
 	e.Expected[2], e.Delivered[2] = n, int64(math.Round(n*(1-d2)*(1-dTrunk)))
 	e.Expected[3], e.Delivered[3] = n, int64(math.Round(n*(1-d3)*(1-dTrunk)))
 	cfg := DefaultConfig()
-	got := Estimate(e, cfg)
+	lt := starTable()
+	got := toMap(lt, NewEstimator(lt, cfg).Estimate(e))
 	check := func(l topo.Link, drop float64) {
 		want := geomle.LossFromDrop(drop, cfg.MaxAttempts)
 		if math.Abs(got[l]-want) > 0.03 {

@@ -37,20 +37,65 @@ func DefaultConfig() Config {
 	return Config{MaxAttempts: 8, MinExpected: 5, MaxIters: 500, Tol: 1e-9}
 }
 
-// Estimate runs tree EM over one epoch and returns per-link per-attempt
-// loss estimates.
-func Estimate(e *epochobs.Epoch, cfg Config) map[topo.Link]float64 {
+// Estimator runs tree EM for successive epochs of one topology, reusing
+// its path and EM scratch across calls; only the returned estimate vector
+// is allocated per epoch.
+type Estimator struct {
+	cfg Config
+	lt  *topo.LinkTable
+
+	// colOf maps table index -> compact EM slot (-1 = not on any usable
+	// path this epoch); cols is the inverse, in first-encounter order over
+	// origins — the slot order the EM sweep has always used.
+	colOf    []int32
+	cols     []int32
+	pathBuf  []int32 // all sources' compact slots, flattened
+	srcStart []int32 // pathBuf offset per source, plus a final sentinel
+	deliv    []float64
+	lost     []float64
+
+	drop       []float64
+	deaths     []float64
+	traversals []float64
+}
+
+// NewEstimator validates the configuration and binds it to a link table.
+func NewEstimator(lt *topo.LinkTable, cfg Config) *Estimator {
 	if cfg.MaxAttempts < 1 {
 		panic("minc: MaxAttempts must be >= 1")
 	}
-	type source struct {
-		path      []int // link indices, origin-side first
-		delivered float64
-		lost      float64
+	est := &Estimator{cfg: cfg, lt: lt, colOf: make([]int32, lt.Len())}
+	for i := range est.colOf {
+		est.colOf[i] = -1
 	}
-	linkIdx := make(map[topo.Link]int)
-	var links []topo.Link
-	var sources []source
+	return est
+}
+
+// resize returns s with length n and every element zeroed, reusing the
+// backing array when it is large enough.
+func resize(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// Estimate runs tree EM over one epoch. The result is dense, indexed by
+// the link table; NaN marks links not on any usable path. The caller owns
+// the returned slice.
+func (est *Estimator) Estimate(e *epochobs.Epoch) []float64 {
+	cfg := est.cfg
+	for _, c := range est.cols {
+		est.colOf[c] = -1
+	}
+	est.cols = est.cols[:0]
+	est.pathBuf = est.pathBuf[:0]
+	est.srcStart = est.srcStart[:0]
+	est.deliv = est.deliv[:0]
+	est.lost = est.lost[:0]
+
 	for origin := range e.Delivered {
 		id := topo.NodeID(origin)
 		if id == topo.Sink {
@@ -60,76 +105,90 @@ func Estimate(e *epochobs.Epoch, cfg Config) map[topo.Link]float64 {
 		if n < cfg.MinExpected {
 			continue
 		}
-		path, ok := e.PathToSink(id)
+		mark := len(est.pathBuf)
+		buf, ok := e.AppendPathIndices(est.lt, id, est.pathBuf)
+		est.pathBuf = buf
 		if !ok {
 			continue
 		}
-		idxPath := make([]int, len(path))
-		for i, l := range path {
-			j, seen := linkIdx[l]
-			if !seen {
-				j = len(links)
-				linkIdx[l] = j
-				links = append(links, l)
+		// Rewrite the appended table indices as compact EM slots, assigned
+		// in first-encounter order.
+		for i := mark; i < len(est.pathBuf); i++ {
+			li := est.pathBuf[i]
+			if est.colOf[li] < 0 {
+				est.colOf[li] = int32(len(est.cols))
+				est.cols = append(est.cols, li)
 			}
-			idxPath[i] = j
+			est.pathBuf[i] = est.colOf[li]
 		}
 		d := float64(e.Delivered[origin])
 		if d > float64(n) {
 			d = float64(n)
 		}
-		sources = append(sources, source{path: idxPath, delivered: d, lost: float64(n) - d})
+		est.srcStart = append(est.srcStart, int32(mark))
+		est.deliv = append(est.deliv, d)
+		est.lost = append(est.lost, float64(n)-d)
 	}
-	if len(sources) == 0 || len(links) == 0 {
-		return map[topo.Link]float64{}
+	est.srcStart = append(est.srcStart, int32(len(est.pathBuf)))
+
+	out := make([]float64, est.lt.Len())
+	for i := range out {
+		out[i] = math.NaN()
+	}
+	nsrc := len(est.deliv)
+	nlinks := len(est.cols)
+	if nsrc == 0 || nlinks == 0 {
+		return out
 	}
 
 	// Initialise drops uniformly from the aggregate loss rate.
 	var totalExp, totalLost float64
-	for _, s := range sources {
-		totalExp += s.delivered + s.lost
-		totalLost += s.lost
+	for s := 0; s < nsrc; s++ {
+		totalExp += est.deliv[s] + est.lost[s]
+		totalLost += est.lost[s]
 	}
 	init := totalLost / math.Max(totalExp, 1) / 2
 	if init <= 0 {
 		init = 1e-4
 	}
-	drop := make([]float64, len(links))
+	est.drop = resize(est.drop, nlinks)
+	est.deaths = resize(est.deaths, nlinks)
+	est.traversals = resize(est.traversals, nlinks)
+	drop, deaths, traversals := est.drop, est.deaths, est.traversals
 	for i := range drop {
 		drop[i] = init
 	}
 
-	deaths := make([]float64, len(links))
-	traversals := make([]float64, len(links))
 	for iter := 0; iter < cfg.MaxIters; iter++ {
 		for i := range deaths {
 			deaths[i] = 0
 			traversals[i] = 0
 		}
-		for _, s := range sources {
+		for s := 0; s < nsrc; s++ {
+			path := est.pathBuf[est.srcStart[s]:est.srcStart[s+1]]
 			// Path delivery probability S_k = prod(1 - d_j).
 			pathDeliver := 1.0
-			for _, li := range s.path {
+			for _, li := range path {
 				pathDeliver *= 1 - drop[li]
 			}
 			pathLoss := 1 - pathDeliver
 			// Delivered packets were offered to every link on the path.
-			if s.delivered > 0 {
-				for _, li := range s.path {
-					traversals[li] += s.delivered
+			if est.deliv[s] > 0 {
+				for _, li := range path {
+					traversals[li] += est.deliv[s]
 				}
 			}
-			if s.lost > 0 && pathLoss > 1e-15 {
+			if est.lost[s] > 0 && pathLoss > 1e-15 {
 				// surv tracks S_{i-1}, the probability of surviving all
 				// links before the current one.
 				surv := 1.0
-				for _, li := range s.path {
+				for _, li := range path {
 					// P(died exactly at l_i | lost) = S_{i-1} d_i / L.
-					deaths[li] += s.lost * surv * drop[li] / pathLoss
+					deaths[li] += est.lost[s] * surv * drop[li] / pathLoss
 					// P(offered to l_i | lost) = (S_{i-1} - S_k) / L:
 					// the packet survived the prefix and died at or after
 					// this link.
-					traversals[li] += s.lost * (surv - pathDeliver) / pathLoss
+					traversals[li] += est.lost[s] * (surv - pathDeliver) / pathLoss
 					surv *= 1 - drop[li]
 				}
 			}
@@ -155,9 +214,8 @@ func Estimate(e *epochobs.Epoch, cfg Config) map[topo.Link]float64 {
 			break
 		}
 	}
-	out := make(map[topo.Link]float64, len(links))
-	for l, j := range linkIdx {
-		out[l] = geomle.LossFromDrop(drop[j], cfg.MaxAttempts)
+	for j, li := range est.cols {
+		out[li] = geomle.LossFromDrop(drop[j], cfg.MaxAttempts)
 	}
 	return out
 }

@@ -9,6 +9,30 @@ import (
 	"dophy/internal/topo"
 )
 
+// chainTable is the link table of an n-node chain matching chainEpoch's
+// tree.
+func chainTable(nodes int) *topo.LinkTable {
+	return topo.Chain(nodes, 10, 10.5).LinkTable()
+}
+
+// starTable covers the tree {-1,0,1,1}: 1 adjacent to the sink, 2 and 3
+// adjacent to 1.
+func starTable() *topo.LinkTable {
+	return topo.FromPoints([]topo.Point{{X: 0, Y: 0}, {X: 5, Y: 0}, {X: 5, Y: 5}, {X: 5, Y: -5}}, 5.5).LinkTable()
+}
+
+// toMap converts a dense estimate vector to the map shape the assertions
+// index by, dropping NaN (not-estimated) entries.
+func toMap(lt *topo.LinkTable, est []float64) map[topo.Link]float64 {
+	out := map[topo.Link]float64{}
+	for i, v := range est {
+		if !math.IsNaN(v) {
+			out[lt.Link(i)] = v
+		}
+	}
+	return out
+}
+
 func chainEpoch(n int64, drops []float64) *epochobs.Epoch {
 	nodes := len(drops) + 1
 	e := &epochobs.Epoch{
@@ -33,7 +57,8 @@ func TestEMRecoversChainDrops(t *testing.T) {
 	drops := []float64{0.03, 0.08, 0.15}
 	e := chainEpoch(100000, drops)
 	cfg := DefaultConfig()
-	got := Estimate(e, cfg)
+	lt := chainTable(4)
+	got := toMap(lt, NewEstimator(lt, cfg).Estimate(e))
 	if len(got) != 3 {
 		t.Fatalf("estimated %d links: %v", len(got), got)
 	}
@@ -58,7 +83,8 @@ func TestEMBranchyTree(t *testing.T) {
 	e.Expected[2], e.Delivered[2] = n, int64(math.Round(n*(1-d2)*(1-dTrunk)))
 	e.Expected[3], e.Delivered[3] = n, int64(math.Round(n*(1-d3)*(1-dTrunk)))
 	cfg := DefaultConfig()
-	got := Estimate(e, cfg)
+	lt := starTable()
+	got := toMap(lt, NewEstimator(lt, cfg).Estimate(e))
 	check := func(l topo.Link, drop float64) {
 		want := geomle.LossFromDrop(drop, cfg.MaxAttempts)
 		if math.Abs(got[l]-want) > 0.04 {
@@ -72,7 +98,8 @@ func TestEMBranchyTree(t *testing.T) {
 
 func TestPerfectDelivery(t *testing.T) {
 	e := chainEpoch(1000, []float64{0, 0})
-	got := Estimate(e, DefaultConfig())
+	lt := chainTable(3)
+	got := toMap(lt, NewEstimator(lt, DefaultConfig()).Estimate(e))
 	for l, loss := range got {
 		if loss > 0.01 {
 			t.Fatalf("lossless link %v = %v", l, loss)
@@ -82,14 +109,16 @@ func TestPerfectDelivery(t *testing.T) {
 
 func TestSkipsUnderSampled(t *testing.T) {
 	e := chainEpoch(2, []float64{0.1})
-	if got := Estimate(e, DefaultConfig()); len(got) != 0 {
+	lt := chainTable(2)
+	if got := toMap(lt, NewEstimator(lt, DefaultConfig()).Estimate(e)); len(got) != 0 {
 		t.Fatalf("under-sampled epoch estimated: %v", got)
 	}
 }
 
 func TestEmptyEpoch(t *testing.T) {
 	e := &epochobs.Epoch{Delivered: make([]int64, 2), Expected: make([]int64, 2), Tree: []topo.NodeID{-1, -1}}
-	if got := Estimate(e, DefaultConfig()); len(got) != 0 {
+	lt := chainTable(2)
+	if got := toMap(lt, NewEstimator(lt, DefaultConfig()).Estimate(e)); len(got) != 0 {
 		t.Fatalf("empty epoch estimated: %v", got)
 	}
 }
@@ -97,7 +126,8 @@ func TestEmptyEpoch(t *testing.T) {
 func TestDeliveredClampedToExpected(t *testing.T) {
 	e := chainEpoch(100, []float64{0.1})
 	e.Delivered[1] = 150 // reordering artefact
-	got := Estimate(e, DefaultConfig())
+	lt := chainTable(2)
+	got := toMap(lt, NewEstimator(lt, DefaultConfig()).Estimate(e))
 	l := topo.Link{From: 1, To: 0}
 	if got[l] < 0 || got[l] > 1 || math.IsNaN(got[l]) {
 		t.Fatalf("clamped estimate = %v", got[l])
@@ -110,14 +140,31 @@ func TestPanicsOnBadConfig(t *testing.T) {
 			t.Fatal("MaxAttempts 0 accepted")
 		}
 	}()
-	Estimate(chainEpoch(10, []float64{0.1}), Config{MaxAttempts: 0})
+	NewEstimator(chainTable(2), Config{MaxAttempts: 0})
+}
+
+func TestEstimatorReuseAcrossEpochs(t *testing.T) {
+	// The same estimator must give identical answers on repeated epochs —
+	// scratch reuse must not leak state across calls.
+	lt := chainTable(3)
+	est := NewEstimator(lt, DefaultConfig())
+	first := est.Estimate(chainEpoch(100000, []float64{0.0, 0.3}))
+	est.Estimate(chainEpoch(1000, []float64{0.2, 0.2})) // interleaved epoch
+	again := est.Estimate(chainEpoch(100000, []float64{0.0, 0.3}))
+	for i := range first {
+		a, b := first[i], again[i]
+		if math.IsNaN(a) != math.IsNaN(b) || (!math.IsNaN(a) && a != b) {
+			t.Fatalf("link %v: %v then %v across reuse", lt.Link(i), a, b)
+		}
+	}
 }
 
 func TestEMConvergesFromLossyStart(t *testing.T) {
 	// All loss on the far link; EM must not smear it onto the trunk.
 	e := chainEpoch(100000, []float64{0.0, 0.3})
 	cfg := DefaultConfig()
-	got := Estimate(e, cfg)
+	lt := chainTable(3)
+	got := toMap(lt, NewEstimator(lt, cfg).Estimate(e))
 	trunk := got[topo.Link{From: 1, To: 0}]
 	far := got[topo.Link{From: 2, To: 1}]
 	if far < trunk {

@@ -1,0 +1,71 @@
+package pathrecord
+
+import (
+	"testing"
+
+	"dophy/internal/collect"
+	"dophy/internal/rng"
+	"dophy/internal/topo"
+)
+
+// benchTree builds a BFS collection tree over the table's links, the shape
+// a routed epoch would produce.
+func benchTree(lt *topo.LinkTable) []topo.NodeID {
+	n := lt.Nodes()
+	tree := make([]topo.NodeID, n)
+	for i := range tree {
+		tree[i] = -1
+	}
+	visited := make([]bool, n)
+	visited[topo.Sink] = true
+	queue := []topo.NodeID{topo.Sink}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		lo, hi := lt.NodeSpan(u)
+		for i := lo; i < hi; i++ {
+			v := lt.Link(i).To
+			if !visited[v] {
+				visited[v] = true
+				tree[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return tree
+}
+
+// BenchmarkEpochFinalise200Grid measures one full epoch cycle — recording a
+// journey per node along a BFS tree of a 196-node grid, then finalising the
+// per-link estimates — which is the recorder's hot loop in the harness.
+func BenchmarkEpochFinalise200Grid(b *testing.B) {
+	tp := topo.Grid(14, 10, 1.5, 14, rng.New(1))
+	lt := tp.LinkTable()
+	tree := benchTree(lt)
+	cfg := DefaultConfig(Compact)
+	cfg.MinSamples = 1
+	rec := New(tp, cfg)
+	var journeys []*collect.PacketJourney
+	for v := 1; v < lt.Nodes(); v++ {
+		if tree[topo.NodeID(v)] < 0 {
+			continue
+		}
+		j := &collect.PacketJourney{Origin: topo.NodeID(v), Delivered: true}
+		for u := topo.NodeID(v); u != topo.Sink; u = tree[u] {
+			j.Hops = append(j.Hops, collect.Hop{
+				Link:     topo.Link{From: u, To: tree[u]},
+				Attempts: 2,
+				Observed: 1 + v%2,
+			})
+		}
+		journeys = append(journeys, j)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, j := range journeys {
+			rec.OnJourney(j)
+		}
+		rec.EndEpoch()
+	}
+}

@@ -21,8 +21,8 @@ func (iv *recInvariants) onHopRecorded() { iv.recordedHops++ }
 
 func (iv *recInvariants) onEndEpoch(r *Recorder) {
 	var total float64
-	for _, obs := range r.linkObs {
-		total += obs.Total()
+	for i := 0; i < r.linkObs.Len(); i++ {
+		total += r.linkObs.At(i).Total()
 	}
 	if math.Abs(total-iv.recordedHops) > 1e-6*(1+iv.recordedHops) {
 		panic(fmt.Sprintf("pathrecord: invariant violated: link observations sum to %g, %g hops were recorded this epoch",

@@ -17,6 +17,7 @@ package pathrecord
 
 import (
 	"fmt"
+	"math"
 
 	"dophy/internal/coding/bitio"
 	"dophy/internal/coding/huffman"
@@ -94,6 +95,7 @@ type Recorder struct {
 	// no-op in the default build (see invariants_off.go).
 	inv        recInvariants
 	tp         *topo.Topology
+	lt         *topo.LinkTable
 	cfg        Config
 	originBits int
 	countBits  int
@@ -101,19 +103,51 @@ type Recorder struct {
 
 	code         *huffman.Code // Huffman variant only
 	epochCounts  []uint64      // count histogram for next epoch's code
-	linkObs      map[topo.Link]*geomle.Obs
+	linkObs      *geomle.Arena // per-link accumulators, indexed by lt
+	w            *bitio.Writer // scratch annotation writer, reset per journey
 	overhead     Overhead
 	epoch        int
 	decodeErrors int64
 }
 
-// EpochReport is the per-epoch output.
+// EpochReport is the per-epoch output. Loss and Samples are dense, indexed
+// by Table; NaN in Loss marks links without enough samples.
 type EpochReport struct {
 	Epoch        int
-	Links        map[topo.Link]float64 // per-attempt loss
-	Samples      map[topo.Link]int64
+	Table        *topo.LinkTable
+	Loss         []float64 // per-attempt loss, NaN = not estimated
+	Samples      []int64
 	Overhead     Overhead
 	DecodeErrors int64
+}
+
+// LossAt returns the loss estimate for l and whether l was estimated.
+func (r *EpochReport) LossAt(l topo.Link) (float64, bool) {
+	i := r.Table.Index(l)
+	if i < 0 || math.IsNaN(r.Loss[i]) {
+		return 0, false
+	}
+	return r.Loss[i], true
+}
+
+// SamplesAt returns the sample count behind l's estimate (0 if not
+// estimated).
+func (r *EpochReport) SamplesAt(l topo.Link) int64 {
+	if i := r.Table.Index(l); i >= 0 {
+		return r.Samples[i]
+	}
+	return 0
+}
+
+// EstimatedLinks returns the links with estimates, in table order.
+func (r *EpochReport) EstimatedLinks() []topo.Link {
+	var out []topo.Link
+	for i, v := range r.Loss {
+		if !math.IsNaN(v) {
+			out = append(out, r.Table.Link(i))
+		}
+	}
+	return out
 }
 
 // New builds a recorder.
@@ -121,13 +155,16 @@ func New(tp *topo.Topology, cfg Config) *Recorder {
 	if cfg.MaxAttempts < 1 {
 		panic("pathrecord: MaxAttempts must be >= 1")
 	}
+	lt := tp.LinkTable()
 	r := &Recorder{
 		tp:         tp,
+		lt:         lt,
 		cfg:        cfg,
 		originBits: bitsFor(tp.N()),
 		countBits:  bitsFor(cfg.MaxAttempts),
 		hopBits:    make([]int, tp.N()),
-		linkObs:    make(map[topo.Link]*geomle.Obs),
+		linkObs:    geomle.NewArena(lt.Len(), cfg.MaxAttempts),
+		w:          bitio.NewWriter(),
 	}
 	for i := range r.hopBits {
 		if deg := len(tp.Neighbors(topo.NodeID(i))); deg > 0 {
@@ -169,7 +206,8 @@ func (r *Recorder) OnJourney(j *collect.PacketJourney) int {
 	r.overhead.Packets++
 	r.overhead.Hops += int64(len(j.Hops))
 	r.overhead.HeaderBits += int64(r.originBits)
-	w := bitio.NewWriter()
+	w := r.w
+	w.Reset()
 	for _, h := range j.Hops {
 		// The bits accumulated so far (plus the header) radiate on every
 		// transmission of this hop.
@@ -183,37 +221,27 @@ func (r *Recorder) OnJourney(j *collect.PacketJourney) int {
 			r.decodeErrors++
 			return 0
 		}
+		li := r.lt.Index(h.Link)
+		if li < 0 {
+			panic(fmt.Sprintf("pathrecord: %v is not a link of the topology", h.Link))
+		}
 		switch r.cfg.Variant {
 		case Raw:
 			w.WriteBits(uint64(h.Link.To), 16)
 			w.WriteBits(uint64(count), 8)
 		case Compact:
-			w.WriteBits(uint64(neighborIndex(r.tp, h.Link.From, h.Link.To)), r.hopBits[h.Link.From])
+			w.WriteBits(uint64(r.lt.NeighborIndex(h.Link)), r.hopBits[h.Link.From])
 			w.WriteBits(uint64(count), r.countBits)
 		case Huffman:
-			w.WriteBits(uint64(neighborIndex(r.tp, h.Link.From, h.Link.To)), r.hopBits[h.Link.From])
+			w.WriteBits(uint64(r.lt.NeighborIndex(h.Link)), r.hopBits[h.Link.From])
 			r.code.Encode(w, count)
 			r.epochCounts[count]++
 		}
-		obs := r.linkObs[h.Link]
-		if obs == nil {
-			obs = &geomle.Obs{Exact: make([]float64, r.cfg.MaxAttempts)}
-			r.linkObs[h.Link] = obs
-		}
-		obs.AddAttempt(observed)
+		r.linkObs.At(li).AddAttempt(observed)
 		r.inv.onHopRecorded()
 	}
 	r.overhead.AnnotationBits += int64(w.Bits())
 	return w.Bits()
-}
-
-func neighborIndex(tp *topo.Topology, from, to topo.NodeID) int {
-	for i, nb := range tp.Neighbors(from) {
-		if nb == to {
-			return i
-		}
-	}
-	panic(fmt.Sprintf("pathrecord: %d not a neighbour of %d", to, from))
 }
 
 // EndEpoch returns the epoch's estimates and overhead and resets state.
@@ -223,21 +251,27 @@ func (r *Recorder) EndEpoch() *EpochReport {
 	r.inv.onEndEpoch(r)
 	rep := &EpochReport{
 		Epoch:        r.epoch,
-		Links:        make(map[topo.Link]float64, len(r.linkObs)),
-		Samples:      make(map[topo.Link]int64, len(r.linkObs)),
+		Table:        r.lt,
+		Loss:         make([]float64, r.lt.Len()),
+		Samples:      make([]int64, r.lt.Len()),
 		Overhead:     r.overhead,
 		DecodeErrors: r.decodeErrors,
 	}
-	for l, obs := range r.linkObs {
-		if obs.Total() < float64(r.cfg.MinSamples) {
+	for i := range rep.Loss {
+		rep.Loss[i] = math.NaN()
+	}
+	for i := 0; i < r.linkObs.Len(); i++ {
+		obs := r.linkObs.At(i)
+		total := obs.Total()
+		if total == 0 || total < float64(r.cfg.MinSamples) {
 			continue
 		}
 		loss, err := obs.EstimateLoss(r.cfg.MaxAttempts)
 		if err != nil {
 			continue
 		}
-		rep.Links[l] = loss
-		rep.Samples[l] = int64(obs.Total() + 0.5)
+		rep.Loss[i] = loss
+		rep.Samples[i] = int64(total + 0.5)
 	}
 	if r.cfg.Variant == Huffman {
 		total := uint64(0)
@@ -251,7 +285,7 @@ func (r *Recorder) EndEpoch() *EpochReport {
 			}
 		}
 	}
-	r.linkObs = make(map[topo.Link]*geomle.Obs)
+	r.linkObs.Reset()
 	r.inv.onEpochReset()
 	r.overhead = Overhead{}
 	r.decodeErrors = 0

@@ -83,12 +83,12 @@ func TestEstimationMatchesGeomle(t *testing.T) {
 		r.OnJourney(journey([]topo.NodeID{1, 0}, []int{att}))
 	}
 	rep := r.EndEpoch()
-	got := rep.Links[topo.Link{From: 1, To: 0}]
+	got, _ := rep.LossAt(topo.Link{From: 1, To: 0})
 	if math.Abs(got-(1-p)) > 0.02 {
 		t.Fatalf("estimated loss %v, want ~%v", got, 1-p)
 	}
-	if rep.Samples[topo.Link{From: 1, To: 0}] != 20000 {
-		t.Fatalf("samples = %d", rep.Samples[topo.Link{From: 1, To: 0}])
+	if rep.SamplesAt(topo.Link{From: 1, To: 0}) != 20000 {
+		t.Fatalf("samples = %d", rep.SamplesAt(topo.Link{From: 1, To: 0}))
 	}
 }
 
@@ -111,7 +111,7 @@ func TestMinSamples(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		r.OnJourney(journey([]topo.NodeID{1, 0}, []int{1}))
 	}
-	if rep := r.EndEpoch(); len(rep.Links) != 0 {
+	if rep := r.EndEpoch(); len(rep.EstimatedLinks()) != 0 {
 		t.Fatal("under-sampled link reported")
 	}
 }
@@ -122,7 +122,7 @@ func TestEpochReset(t *testing.T) {
 	r.OnJourney(journey([]topo.NodeID{1, 0}, []int{1}))
 	r.EndEpoch()
 	rep := r.EndEpoch()
-	if rep.Overhead.Packets != 0 || len(rep.Links) != 0 || rep.Epoch != 2 {
+	if rep.Overhead.Packets != 0 || len(rep.EstimatedLinks()) != 0 || rep.Epoch != 2 {
 		t.Fatalf("epoch state leaked: %+v", rep)
 	}
 }

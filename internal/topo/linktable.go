@@ -1,0 +1,81 @@
+package topo
+
+// LinkTable is a stable, dense enumeration of a topology's directed links.
+// Links are numbered 0..Len()-1 in canonical order — ascending From, then
+// ascending To — which is exactly the order Links() returns, so any slice
+// indexed by the table is already sorted for deterministic iteration. The
+// estimation pipeline keys its per-link state ([]LinkCounts, []float64,
+// []geomle.Obs, ...) by table index instead of map[Link] hashing; maps
+// survive only at export boundaries.
+//
+// The table is built once per Topology and is immutable, so it is safe to
+// share across goroutines.
+type LinkTable struct {
+	n     int
+	links []Link  // table index -> link, canonical order
+	idx   []int32 // flat n*n lookup: From*n+To -> table index, -1 if no link
+	off   []int32 // len n+1: links[off[i]:off[i+1]] originate at node i
+}
+
+// newLinkTable enumerates the links of sorted adjacency lists.
+func newLinkTable(neighbors [][]NodeID) *LinkTable {
+	n := len(neighbors)
+	total := 0
+	for _, nbs := range neighbors {
+		total += len(nbs)
+	}
+	t := &LinkTable{
+		n:     n,
+		links: make([]Link, 0, total),
+		idx:   make([]int32, n*n),
+		off:   make([]int32, n+1),
+	}
+	for i := range t.idx {
+		t.idx[i] = -1
+	}
+	for id, nbs := range neighbors {
+		t.off[id] = int32(len(t.links))
+		for _, nb := range nbs {
+			t.idx[id*n+int(nb)] = int32(len(t.links))
+			t.links = append(t.links, Link{From: NodeID(id), To: nb})
+		}
+	}
+	t.off[n] = int32(len(t.links))
+	return t
+}
+
+// Len returns the number of directed links.
+func (t *LinkTable) Len() int { return len(t.links) }
+
+// Nodes returns the number of nodes in the underlying topology.
+func (t *LinkTable) Nodes() int { return t.n }
+
+// Link returns the link at table index i (canonical order).
+func (t *LinkTable) Link(i int) Link { return t.links[i] }
+
+// Index returns l's table index, or -1 when l is not a link of the topology
+// (including out-of-range node ids and self-links).
+func (t *LinkTable) Index(l Link) int {
+	if l.From < 0 || l.To < 0 || int(l.From) >= t.n || int(l.To) >= t.n {
+		return -1
+	}
+	return int(t.idx[int(l.From)*t.n+int(l.To)])
+}
+
+// NodeSpan returns the half-open table index range [lo, hi) of the links
+// originating at id; iterating it visits id's outgoing links in ascending
+// To order.
+func (t *LinkTable) NodeSpan(id NodeID) (lo, hi int) {
+	return int(t.off[id]), int(t.off[id+1])
+}
+
+// NeighborIndex returns the position of l.To within l.From's sorted
+// neighbor list, or -1 when l is not a link — an O(1) replacement for
+// scanning Neighbors(l.From).
+func (t *LinkTable) NeighborIndex(l Link) int {
+	i := t.Index(l)
+	if i < 0 {
+		return -1
+	}
+	return i - int(t.off[l.From])
+}

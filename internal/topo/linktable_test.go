@@ -1,0 +1,158 @@
+package topo
+
+import (
+	"testing"
+
+	"dophy/internal/rng"
+)
+
+// tableTopologies covers every generator with representative sizes.
+func tableTopologies(t testing.TB) map[string]*Topology {
+	t.Helper()
+	return map[string]*Topology{
+		"single":   Chain(1, 10, 10.5),
+		"chain":    Chain(8, 10, 10.5),
+		"chain2":   Chain(12, 10, 21), // 2-hop reach: degree > 2
+		"grid":     Grid(5, 10, 1.5, 11, rng.New(3)),
+		"uniform":  Uniform(40, 100, 100, 25, rng.New(4)),
+		"corridor": Corridor(30, 200, 20, 30, rng.New(5)),
+		"points": FromPoints([]Point{
+			{0, 0}, {5, 0}, {0, 5}, {100, 100},
+		}, 7),
+	}
+}
+
+func checkTable(t *testing.T, tp *Topology) {
+	t.Helper()
+	lt := tp.LinkTable()
+	if lt == nil {
+		t.Fatal("nil LinkTable")
+	}
+	if lt.Nodes() != tp.N() {
+		t.Fatalf("Nodes() = %d, want %d", lt.Nodes(), tp.N())
+	}
+
+	// Table order matches Links() exactly, and indices round-trip.
+	links := tp.Links()
+	if lt.Len() != len(links) {
+		t.Fatalf("Len() = %d, want %d links", lt.Len(), len(links))
+	}
+	for i, l := range links {
+		if got := lt.Link(i); got != l {
+			t.Fatalf("Link(%d) = %v, want %v", i, got, l)
+		}
+		if got := lt.Index(l); got != i {
+			t.Fatalf("Index(%v) = %d, want %d", l, got, i)
+		}
+	}
+
+	// Canonical order: ascending From, then ascending To.
+	for i := 1; i < len(links); i++ {
+		a, b := links[i-1], links[i]
+		if a.From > b.From || (a.From == b.From && a.To >= b.To) {
+			t.Fatalf("links out of canonical order at %d: %v then %v", i, a, b)
+		}
+	}
+
+	// Every non-link — including self-links and out-of-range ids — maps
+	// to -1.
+	n := tp.N()
+	for from := -1; from <= n; from++ {
+		for to := -1; to <= n; to++ {
+			l := Link{From: NodeID(from), To: NodeID(to)}
+			want := -1
+			if from >= 0 && from < n && to >= 0 && to < n && tp.Adjacent(NodeID(from), NodeID(to)) {
+				want = 0 // any valid index; checked for equality below
+			}
+			got := lt.Index(l)
+			if want == -1 && got != -1 {
+				t.Fatalf("Index(%v) = %d, want -1", l, got)
+			}
+			if want == 0 && got < 0 {
+				t.Fatalf("Index(%v) = %d for adjacent pair", l, got)
+			}
+		}
+	}
+
+	// NodeSpan covers the table exactly once, in order, and NeighborIndex
+	// matches the position in the sorted neighbor list.
+	seen := 0
+	for id := 0; id < n; id++ {
+		lo, hi := lt.NodeSpan(NodeID(id))
+		if lo != seen {
+			t.Fatalf("NodeSpan(%d) lo = %d, want %d", id, lo, seen)
+		}
+		nbs := tp.Neighbors(NodeID(id))
+		if hi-lo != len(nbs) {
+			t.Fatalf("NodeSpan(%d) width = %d, want %d", id, hi-lo, len(nbs))
+		}
+		for j, nb := range nbs {
+			l := Link{From: NodeID(id), To: nb}
+			if got := lt.NeighborIndex(l); got != j {
+				t.Fatalf("NeighborIndex(%v) = %d, want %d", l, got, j)
+			}
+		}
+		seen = hi
+	}
+	if seen != lt.Len() {
+		t.Fatalf("NodeSpans cover %d links, want %d", seen, lt.Len())
+	}
+	if lt.NeighborIndex(Link{From: 0, To: 0}) != -1 {
+		t.Fatal("NeighborIndex of a non-link should be -1")
+	}
+}
+
+func TestLinkTableRoundTrip(t *testing.T) {
+	for name, tp := range tableTopologies(t) {
+		t.Run(name, func(t *testing.T) { checkTable(t, tp) })
+	}
+}
+
+// TestLinkTableDeterminism rebuilds each topology from the same seed and
+// requires an identical table — the property every dense vector in the
+// pipeline relies on.
+func TestLinkTableDeterminism(t *testing.T) {
+	build := func() map[string]*Topology { return tableTopologies(t) }
+	a, b := build(), build()
+	for name := range a {
+		la, lb := a[name].LinkTable(), b[name].LinkTable()
+		if la.Len() != lb.Len() {
+			t.Fatalf("%s: Len %d vs %d across runs", name, la.Len(), lb.Len())
+		}
+		for i := 0; i < la.Len(); i++ {
+			if la.Link(i) != lb.Link(i) {
+				t.Fatalf("%s: Link(%d) differs across runs: %v vs %v",
+					name, i, la.Link(i), lb.Link(i))
+			}
+		}
+	}
+}
+
+// FuzzLinkTable drives the round-trip property through the Uniform
+// generator with fuzzed sizes and seeds.
+func FuzzLinkTable(f *testing.F) {
+	f.Add(uint64(1), 10)
+	f.Add(uint64(42), 1)
+	f.Add(uint64(7), 60)
+	f.Fuzz(func(t *testing.T, seed uint64, n int) {
+		if n < 1 || n > 200 {
+			t.Skip()
+		}
+		tp := Uniform(n, 100, 100, 25, rng.New(seed))
+		lt := tp.LinkTable()
+		for i := 0; i < lt.Len(); i++ {
+			l := lt.Link(i)
+			if got := lt.Index(l); got != i {
+				t.Fatalf("Index(Link(%d)) = %d", i, got)
+			}
+			if l.From == l.To {
+				t.Fatalf("self-link %v enumerated", l)
+			}
+		}
+		for id := 0; id < n; id++ {
+			if lt.Index(Link{From: NodeID(id), To: NodeID(id)}) != -1 {
+				t.Fatalf("self-link %d->%d has an index", id, id)
+			}
+		}
+	})
+}

@@ -38,7 +38,12 @@ type Topology struct {
 	Pos       []Point    // indexed by NodeID
 	Range     float64    // communication range in meters
 	neighbors [][]NodeID // sorted adjacency lists
+	lt        *LinkTable // dense enumeration of the directed links
 }
+
+// LinkTable returns the topology's dense link enumeration. The table is
+// built once at construction and shared; callers must not mutate it.
+func (t *Topology) LinkTable() *LinkTable { return t.lt }
 
 // N returns the number of nodes including the sink.
 func (t *Topology) N() int { return len(t.Pos) }
@@ -77,6 +82,7 @@ func build(pos []Point, commRange float64) *Topology {
 	for i := range t.neighbors {
 		sort.Slice(t.neighbors[i], func(a, b int) bool { return t.neighbors[i][a] < t.neighbors[i][b] })
 	}
+	t.lt = newLinkTable(t.neighbors)
 	return t
 }
 
@@ -205,14 +211,11 @@ type Link struct {
 
 func (l Link) String() string { return fmt.Sprintf("%d->%d", l.From, l.To) }
 
-// Links enumerates every directed link (both directions of each adjacency).
+// Links enumerates every directed link (both directions of each adjacency)
+// in canonical LinkTable order: ascending From, then ascending To.
 func (t *Topology) Links() []Link {
-	var out []Link
-	for id := range t.neighbors {
-		for _, nb := range t.neighbors[id] {
-			out = append(out, Link{NodeID(id), nb})
-		}
-	}
+	out := make([]Link, t.lt.Len())
+	copy(out, t.lt.links)
 	return out
 }
 

@@ -6,10 +6,14 @@
 // loss each estimator is trying to recover), plus delivery and routing-churn
 // counters. Epoch boundaries snapshot and reset the counters so each
 // estimation round is scored against its own window.
+//
+// Per-link state is a dense slice indexed by the topology's LinkTable; the
+// map-shaped view survives only in the Link accessor for callers that hold
+// a topo.Link.
 package trace
 
 import (
-	"sort"
+	"fmt"
 
 	"dophy/internal/topo"
 )
@@ -36,21 +40,22 @@ func (c LinkCounts) Loss(minAttempts int64) (float64, bool) {
 
 // Recorder accumulates ground truth for the current epoch.
 type Recorder struct {
-	links         map[topo.Link]*LinkCounts
-	Generated     int64 // data packets created at origins
-	Delivered     int64 // data packets that reached the sink
-	Dropped       int64 // data packets dropped after retry exhaustion
-	ParentChanges int64 // routing parent switches
+	lt            *topo.LinkTable
+	counts        []LinkCounts // indexed by lt
+	Generated     int64        // data packets created at origins
+	Delivered     int64        // data packets that reached the sink
+	Dropped       int64        // data packets dropped after retry exhaustion
+	ParentChanges int64        // routing parent switches
 }
 
-// NewRecorder returns an empty recorder.
-func NewRecorder() *Recorder {
-	return &Recorder{links: make(map[topo.Link]*LinkCounts)}
+// NewRecorder returns an empty recorder over the given link table.
+func NewRecorder(lt *topo.LinkTable) *Recorder {
+	return &Recorder{lt: lt, counts: make([]LinkCounts, lt.Len())}
 }
 
 // Attempt records one data-packet transmission on l and its outcome.
 func (r *Recorder) Attempt(l topo.Link, received bool) {
-	c := r.counts(l)
+	c := r.at(l)
 	c.Attempts++
 	c.DataAttempts++
 	if received {
@@ -62,55 +67,62 @@ func (r *Recorder) Attempt(l topo.Link, received bool) {
 // sharpen the empirical loss ground truth without marking the link as
 // data-active.
 func (r *Recorder) Beacon(l topo.Link, received bool) {
-	c := r.counts(l)
+	c := r.at(l)
 	c.Attempts++
 	if received {
 		c.Successes++
 	}
 }
 
-func (r *Recorder) counts(l topo.Link) *LinkCounts {
-	c := r.links[l]
-	if c == nil {
-		c = &LinkCounts{}
-		r.links[l] = c
+func (r *Recorder) at(l topo.Link) *LinkCounts {
+	i := r.lt.Index(l)
+	if i < 0 {
+		panic(fmt.Sprintf("trace: %v is not a link of the topology", l))
 	}
-	return c
+	return &r.counts[i]
 }
 
-// Link returns the accumulated counts for l (zero value if untouched).
+// Link returns the accumulated counts for l (zero value if untouched or not
+// a topology link).
 func (r *Recorder) Link(l topo.Link) LinkCounts {
-	if c := r.links[l]; c != nil {
-		return *c
+	if i := r.lt.Index(l); i >= 0 {
+		return r.counts[i]
 	}
 	return LinkCounts{}
 }
 
-// Epoch is an immutable snapshot of one epoch's ground truth.
+// Epoch is an immutable snapshot of one epoch's ground truth. Counts is
+// dense, indexed by Table.
 type Epoch struct {
-	Links         map[topo.Link]LinkCounts
+	Table         *topo.LinkTable
+	Counts        []LinkCounts
 	Generated     int64
 	Delivered     int64
 	Dropped       int64
 	ParentChanges int64
 }
 
+// Link returns the counts for l (zero value if untouched or unknown).
+func (e *Epoch) Link(l topo.Link) LinkCounts {
+	if e.Table == nil {
+		return LinkCounts{}
+	}
+	if i := e.Table.Index(l); i >= 0 {
+		return e.Counts[i]
+	}
+	return LinkCounts{}
+}
+
 // ActiveLinks returns the links with at least minAttempts *data* attempts,
-// in a deterministic order — the links a tomography scheme could plausibly
+// in canonical table order — the links a tomography scheme could plausibly
 // estimate.
 func (e *Epoch) ActiveLinks(minAttempts int64) []topo.Link {
 	var out []topo.Link
-	for l, c := range e.Links {
-		if c.DataAttempts >= minAttempts {
-			out = append(out, l)
+	for i := range e.Counts {
+		if e.Counts[i].DataAttempts >= minAttempts && e.Counts[i].Attempts > 0 {
+			out = append(out, e.Table.Link(i))
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].From != out[j].From {
-			return out[i].From < out[j].From
-		}
-		return out[i].To < out[j].To
-	})
 	return out
 }
 
@@ -123,20 +135,20 @@ func (e *Epoch) DeliveryRatio() float64 {
 	return float64(e.Delivered) / float64(e.Generated)
 }
 
-// Cut snapshots the current counters into an Epoch and resets the recorder
-// for the next one.
+// Cut snapshots the current counters into an Epoch and zeroes the recorder
+// in place for the next one — the snapshot is the only per-epoch
+// allocation.
 func (r *Recorder) Cut() *Epoch {
 	e := &Epoch{
-		Links:         make(map[topo.Link]LinkCounts, len(r.links)),
+		Table:         r.lt,
+		Counts:        make([]LinkCounts, len(r.counts)),
 		Generated:     r.Generated,
 		Delivered:     r.Delivered,
 		Dropped:       r.Dropped,
 		ParentChanges: r.ParentChanges,
 	}
-	for l, c := range r.links {
-		e.Links[l] = *c
-	}
-	r.links = make(map[topo.Link]*LinkCounts)
+	copy(e.Counts, r.counts)
+	clear(r.counts)
 	r.Generated, r.Delivered, r.Dropped, r.ParentChanges = 0, 0, 0, 0
 	return e
 }

@@ -7,11 +7,17 @@ import (
 	"dophy/internal/topo"
 )
 
+// testTable builds a 4-node chain: links 0<->1, 1<->2, 2<->3.
+func testTable(t *testing.T) *topo.LinkTable {
+	t.Helper()
+	return topo.Chain(4, 10, 10.5).LinkTable()
+}
+
 var l12 = topo.Link{From: 1, To: 2}
 var l21 = topo.Link{From: 2, To: 1}
 
 func TestAttemptAccumulates(t *testing.T) {
-	r := NewRecorder()
+	r := NewRecorder(testTable(t))
 	r.Attempt(l12, true)
 	r.Attempt(l12, false)
 	r.Attempt(l12, true)
@@ -22,7 +28,7 @@ func TestAttemptAccumulates(t *testing.T) {
 }
 
 func TestDirectionsSeparate(t *testing.T) {
-	r := NewRecorder()
+	r := NewRecorder(testTable(t))
 	r.Attempt(l12, true)
 	r.Attempt(l21, false)
 	if r.Link(l12).Successes != 1 || r.Link(l21).Successes != 0 {
@@ -31,10 +37,20 @@ func TestDirectionsSeparate(t *testing.T) {
 }
 
 func TestUntouchedLinkZero(t *testing.T) {
-	r := NewRecorder()
+	r := NewRecorder(testTable(t))
 	if c := r.Link(l12); c.Attempts != 0 || c.Successes != 0 {
 		t.Fatalf("untouched link = %+v", c)
 	}
+}
+
+func TestNonTopologyLinkPanics(t *testing.T) {
+	r := NewRecorder(testTable(t))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("recording a non-topology link did not panic")
+		}
+	}()
+	r.Attempt(topo.Link{From: 0, To: 3}, true)
 }
 
 func TestLossComputation(t *testing.T) {
@@ -52,14 +68,14 @@ func TestLossComputation(t *testing.T) {
 }
 
 func TestCutSnapshotsAndResets(t *testing.T) {
-	r := NewRecorder()
+	r := NewRecorder(testTable(t))
 	r.Attempt(l12, true)
 	r.Generated, r.Delivered, r.Dropped, r.ParentChanges = 5, 4, 1, 2
 	e := r.Cut()
 	if e.Generated != 5 || e.Delivered != 4 || e.Dropped != 1 || e.ParentChanges != 2 {
 		t.Fatalf("epoch = %+v", e)
 	}
-	if e.Links[l12].Attempts != 1 {
+	if e.Link(l12).Attempts != 1 {
 		t.Fatal("epoch missing link counts")
 	}
 	// Recorder must now be clean.
@@ -68,22 +84,24 @@ func TestCutSnapshotsAndResets(t *testing.T) {
 	}
 	// Epoch must be immune to further recording.
 	r.Attempt(l12, true)
-	if e.Links[l12].Attempts != 1 {
+	if e.Link(l12).Attempts != 1 {
 		t.Fatal("epoch snapshot aliases live counters")
 	}
 }
 
 func TestActiveLinksDeterministicOrder(t *testing.T) {
-	r := NewRecorder()
-	links := []topo.Link{{From: 3, To: 1}, {From: 1, To: 2}, {From: 1, To: 0}, {From: 2, To: 0}}
+	// Star-ish layout: 0 adjacent to 1,2,3; 1 adjacent to 2 as well.
+	tp := topo.FromPoints([]topo.Point{{X: 0, Y: 0}, {X: 5, Y: 0}, {X: 0, Y: 5}, {X: -5, Y: 0}}, 7.1)
+	r := NewRecorder(tp.LinkTable())
+	links := []topo.Link{{From: 3, To: 0}, {From: 1, To: 2}, {From: 1, To: 0}, {From: 2, To: 0}}
 	for _, l := range links {
 		r.Attempt(l, true)
 		r.Attempt(l, true)
 	}
-	r.Attempt(topo.Link{From: 9, To: 9}, true) // only one attempt
+	r.Attempt(topo.Link{From: 2, To: 1}, true) // only one attempt
 	e := r.Cut()
 	got := e.ActiveLinks(2)
-	want := []topo.Link{{From: 1, To: 0}, {From: 1, To: 2}, {From: 2, To: 0}, {From: 3, To: 1}}
+	want := []topo.Link{{From: 1, To: 0}, {From: 1, To: 2}, {From: 2, To: 0}, {From: 3, To: 0}}
 	if len(got) != len(want) {
 		t.Fatalf("active links = %v", got)
 	}
@@ -106,7 +124,7 @@ func TestDeliveryRatio(t *testing.T) {
 }
 
 func TestBeaconVsDataAttempts(t *testing.T) {
-	r := NewRecorder()
+	r := NewRecorder(testTable(t))
 	r.Attempt(l12, true)
 	r.Beacon(l12, false)
 	r.Beacon(l12, true)
@@ -116,7 +134,7 @@ func TestBeaconVsDataAttempts(t *testing.T) {
 	}
 	e := r.Cut()
 	// Beacon-only links are not data-active.
-	r2 := NewRecorder()
+	r2 := NewRecorder(testTable(t))
 	r2.Beacon(l21, true)
 	r2.Beacon(l21, true)
 	e2 := r2.Cut()
