@@ -1,5 +1,6 @@
 // Command dophy-lint statically enforces the repo's determinism and
-// ownership invariants (see DESIGN.md, "Determinism & invariants").
+// ownership invariants (see DESIGN.md, "Determinism & invariants" and
+// "Static allocation discipline & determinism taint").
 //
 // Usage:
 //
@@ -8,24 +9,40 @@
 // It loads every package in the module twice — once with the default tag
 // set and once with the dophy_invariants tag, so both variants of the
 // build-gated files are linted — and exits nonzero if any rule fires.
-// Individual sites can be waived with a justified pragma:
+// Regular diagnostics are unioned across the passes; stale-waiver
+// diagnostics are intersected (a pragma is only stale if it suppresses
+// nothing under *every* tag set). Individual sites can be waived with a
+// justified pragma:
 //
 //	//dophy:allow <rule> -- <why this site is legitimately exempt>
+//
+// Output modes: the default is file:line:col text; -json emits a JSON
+// array of diagnostics; -github emits GitHub Actions workflow annotations
+// (::error file=...) so violations surface inline on pull requests.
+// -hotpaths prints the //dophy:hotpath inventory instead of linting.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"dophy/internal/lint"
 )
 
+// tagSets are the build-tag combinations every pass runs under.
+var tagSets = [][]string{nil, {"dophy_invariants"}}
+
 func main() {
 	verbose := flag.Bool("v", false, "also print type-checker errors (analysis is best-effort despite them)")
 	root := flag.String("root", "", "module root to lint (default: walk up from cwd to go.mod)")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	github := flag.Bool("github", false, "emit GitHub Actions ::error annotations alongside the text output")
+	hotpaths := flag.Bool("hotpaths", false, "print the //dophy:hotpath function inventory and exit")
 	flag.Parse()
 
 	dir := *root
@@ -46,9 +63,20 @@ func main() {
 		}
 	}
 
+	if *hotpaths {
+		printHotPaths(dir)
+		return
+	}
+
 	seen := map[string]bool{}
 	var diags []lint.Diagnostic
-	for _, tags := range [][]string{nil, {"dophy_invariants"}} {
+	// stale waivers must be unused under every tag set before they are
+	// reported: a pragma can legitimately suppress a diagnostic that only
+	// exists in the dophy_invariants build (or only in the default one).
+	// staleCandidates starts as the first pass's stale list and is filtered
+	// down to the intersection by each later pass.
+	var staleCandidates []lint.Diagnostic
+	for pass, tags := range tagSets {
 		mod, err := lint.Load(dir, lint.LoadConfig{Tags: tags})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dophy-lint:", err)
@@ -61,19 +89,121 @@ func main() {
 				}
 			}
 		}
-		for _, d := range mod.Run(lint.AllRules()) {
+		regular, stale := mod.RunDetail(lint.AllRules())
+		for _, d := range regular {
 			if key := d.String(); !seen[key] {
 				seen[key] = true
 				diags = append(diags, d)
 			}
 		}
+		if pass == 0 {
+			staleCandidates = stale
+			continue
+		}
+		inPass := map[string]bool{}
+		for _, d := range stale {
+			inPass[d.String()] = true
+		}
+		kept := staleCandidates[:0]
+		for _, d := range staleCandidates {
+			if inPass[d.String()] {
+				kept = append(kept, d)
+			}
+		}
+		staleCandidates = kept
 	}
-	for _, d := range diags {
-		fmt.Println(d.String())
+	for _, d := range staleCandidates {
+		if key := d.String(); !seen[key] {
+			seen[key] = true
+			diags = append(diags, d)
+		}
+	}
+	lint.SortDiagnostics(diags)
+
+	switch {
+	case *jsonOut:
+		emitJSON(diags)
+	default:
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+	}
+	if *github {
+		for _, d := range diags {
+			emitGitHub(dir, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "dophy-lint: %d violation(s)\n", len(diags))
 		os.Exit(1)
+	}
+}
+
+// jsonDiag is the stable JSON shape of one diagnostic.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func emitJSON(diags []lint.Diagnostic) {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Column:  d.Pos.Column,
+			Rule:    d.Rule,
+			Message: d.Msg,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "dophy-lint:", err)
+		os.Exit(2)
+	}
+}
+
+// emitGitHub prints one GitHub Actions workflow annotation. File paths are
+// made repo-relative so the annotation attaches to the diff view.
+func emitGitHub(root string, d lint.Diagnostic) {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	// Messages must have %, CR and LF escaped per the workflow-command spec.
+	msg := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A").Replace(
+		fmt.Sprintf("%s: %s", d.Rule, d.Msg))
+	fmt.Printf("::error file=%s,line=%d,col=%d::%s\n", file, d.Pos.Line, d.Pos.Column, msg)
+}
+
+// printHotPaths emits the union of //dophy:hotpath functions over every tag
+// set, one per line, sorted — the source of the committed
+// hotpath-inventory.txt golden.
+func printHotPaths(dir string) {
+	seen := map[string]bool{}
+	var all []string
+	for _, tags := range tagSets {
+		mod, err := lint.Load(dir, lint.LoadConfig{Tags: tags})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dophy-lint:", err)
+			os.Exit(2)
+		}
+		for _, line := range lint.Inventory(mod) {
+			if !seen[line] {
+				seen[line] = true
+				all = append(all, line)
+			}
+		}
+	}
+	// Inventory is sorted per pass; the union of two sorted lists needs one
+	// more sort to interleave tag-gated entries correctly.
+	sort.Strings(all)
+	for _, line := range all {
+		fmt.Println(line)
 	}
 }
 

@@ -52,6 +52,7 @@ type Encoder struct {
 
 // NewEncoder returns an encoder emitting to w.
 func NewEncoder(w *bitio.Writer) *Encoder {
+	//dophy:allow hotpathalloc -- one encoder per packet in flight is the modeled in-packet state; steady paths use Reset
 	return &Encoder{high: mask, w: w}
 }
 
@@ -70,6 +71,8 @@ func (e *Encoder) emit(bit int) {
 }
 
 // Encode codes one symbol under m and updates m.
+//
+//dophy:hotpath
 func (e *Encoder) Encode(m Model, sym int) {
 	if e.done {
 		panic("arith: Encode after Finish")
@@ -104,6 +107,8 @@ func (e *Encoder) Encode(m Model, sym int) {
 
 // Finish flushes the final disambiguation bits. The encoder cannot be used
 // afterwards.
+//
+//dophy:hotpath
 func (e *Encoder) Finish() {
 	if e.done {
 		return
@@ -145,6 +150,8 @@ func (d *Decoder) Reset(r *bitio.Reader) {
 var ErrCorrupt = errors.New("arith: corrupt stream")
 
 // Decode extracts one symbol under m and updates m.
+//
+//dophy:hotpath
 func (d *Decoder) Decode(m Model) (int, error) {
 	span := d.high - d.low + 1
 	_, _, total := m.Range(0)

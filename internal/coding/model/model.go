@@ -56,10 +56,28 @@ func (s *Static) Range(sym int) (low, high, total uint32) {
 	return s.cum[sym], s.cum[sym+1], s.cum[len(s.freq)]
 }
 
-// Find implements arith.Model via binary search.
+// Find implements arith.Model via binary search. Open-coded rather than
+// sort.Search: the predicate closure would allocate on every decoded
+// symbol.
 func (s *Static) Find(v uint32) (sym int, low, high, total uint32) {
-	i := sort.Search(len(s.freq), func(i int) bool { return s.cum[i+1] > v })
+	i := findCum(s.cum, len(s.freq), v)
 	return i, s.cum[i], s.cum[i+1], s.cum[len(s.freq)]
+}
+
+// findCum returns the smallest i in [0, n) with cum[i+1] > v, assuming
+// cum is non-decreasing with cum[n] > v (total mass exceeds any code
+// value the caller probes).
+func findCum(cum []uint32, n int, v uint32) int {
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cum[mid+1] > v {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
 }
 
 // Update implements arith.Model (no-op for static tables).
@@ -125,12 +143,13 @@ func (a *Adaptive) Range(sym int) (low, high, total uint32) {
 	return a.cum[sym], a.cum[sym+1], a.cum[len(a.freq)]
 }
 
-// Find implements arith.Model.
+// Find implements arith.Model. Open-coded binary search for the same
+// reason as Static.Find.
 func (a *Adaptive) Find(v uint32) (sym int, low, high, total uint32) {
 	if a.dirty {
 		a.rebuild()
 	}
-	i := sort.Search(len(a.freq), func(i int) bool { return a.cum[i+1] > v })
+	i := findCum(a.cum, len(a.freq), v)
 	return i, a.cum[i], a.cum[i+1], a.cum[len(a.freq)]
 }
 

@@ -208,10 +208,13 @@ func (n *Network) jitteredPeriod() sim.Time {
 }
 
 // generate creates one packet at id and starts forwarding it.
+//
+//dophy:hotpath
 func (n *Network) generate(id topo.NodeID) {
 	n.nextSeq[id]++
 	// Pre-size Hops for typical path depth: the append in transmit would
 	// otherwise regrow 1→2→4→8 for every journey on the hot path.
+	//dophy:allow hotpathalloc -- the journey record is the pipeline's product: one allocation per generated packet, owned by the sink
 	j := &PacketJourney{Origin: id, Seq: n.nextSeq[id], Generated: n.eng.Now(), Hops: make([]Hop, 0, 8)}
 	if n.rec != nil {
 		n.rec.Generated++
@@ -225,6 +228,8 @@ func (n *Network) generate(id topo.NodeID) {
 
 // forward admits j to node at: directly when contention is unmodelled or
 // the node is idle, otherwise through the node's bounded queue.
+//
+//dophy:hotpath
 func (n *Network) forward(at topo.NodeID, j *PacketJourney) {
 	if n.cfg.QueueCap == 0 {
 		n.transmit(at, j)
@@ -244,6 +249,8 @@ func (n *Network) forward(at topo.NodeID, j *PacketJourney) {
 }
 
 // release marks node at idle and starts its next queued packet, if any.
+//
+//dophy:hotpath
 func (n *Network) release(at topo.NodeID) {
 	if n.cfg.QueueCap == 0 {
 		return
@@ -272,6 +279,8 @@ type hopCont struct {
 }
 
 // cont draws a carrier from the pool (or mints one) and arms it.
+//
+//dophy:hotpath
 func (n *Network) cont(at, parent topo.NodeID, j *PacketJourney) *hopCont {
 	var c *hopCont
 	if k := len(n.contFree); k > 0 {
@@ -279,6 +288,7 @@ func (n *Network) cont(at, parent topo.NodeID, j *PacketJourney) *hopCont {
 		n.contFree[k-1] = nil
 		n.contFree = n.contFree[:k-1]
 	} else {
+		//dophy:allow hotpathalloc -- continuation-pool miss path: allocates only until the pool warms up
 		c = &hopCont{n: n}
 		c.fn = c.run
 	}
@@ -287,6 +297,8 @@ func (n *Network) cont(at, parent topo.NodeID, j *PacketJourney) *hopCont {
 }
 
 // run fires the continuation and recycles the carrier.
+//
+//dophy:hotpath
 func (c *hopCont) run() {
 	n, at, parent, j := c.n, c.at, c.parent, c.j
 	c.j = nil
@@ -303,6 +315,8 @@ func (c *hopCont) run() {
 }
 
 // transmit performs one hop of j from node at, then schedules the next.
+//
+//dophy:hotpath
 func (n *Network) transmit(at topo.NodeID, j *PacketJourney) {
 	if len(j.Hops) >= n.cfg.TTL {
 		n.release(at)
@@ -333,6 +347,8 @@ func (n *Network) transmit(at topo.NodeID, j *PacketJourney) {
 }
 
 // finish completes a journey and notifies subscribers.
+//
+//dophy:hotpath
 func (n *Network) finish(j *PacketJourney, reason DropReason) {
 	j.Completed = n.eng.Now()
 	j.Drop = reason
@@ -353,6 +369,7 @@ func (n *Network) finish(j *PacketJourney, reason DropReason) {
 		}
 	}
 	for _, fn := range n.subs {
+		//dophy:allow hotpathalloc -- subscriber dispatch: sinks register once at setup and their journey handlers are annotated hot paths themselves
 		fn(j)
 	}
 }

@@ -51,6 +51,7 @@ func (a *Annotator) InFlight() int { return len(a.flight) }
 // OnGenerate implements collect.Annotator: capture the model version this
 // packet will encode against.
 func (a *Annotator) OnGenerate(j *collect.PacketJourney) {
+	//dophy:allow hotpathalloc -- per-packet in-flight annotation state is the modeled artifact; it lives exactly as long as its packet
 	a.flight[j] = &packetAnno{
 		countModel: a.d.countModel,
 		hopModels:  a.d.hopModels,

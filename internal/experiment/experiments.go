@@ -523,6 +523,8 @@ func T4(seed uint64) *Table {
 }
 
 // nowNanos is a tiny wall-clock shim (the only wall-clock use in the repo).
+//
+//dophy:allow determflow -- timeNow is the stamping shim for report metadata, pinned by the nowalltime waiver at its declaration; no simulation state reads it
 func nowNanos() int64 { return timeNow().UnixNano() }
 
 // Runner is one experiment entry in the registry.

@@ -1,0 +1,129 @@
+package lint
+
+import "testing"
+
+// loadCallGraphFixture loads the dedicated call-graph fixture module and
+// returns its graph.
+func loadCallGraphFixture(t *testing.T) *CallGraph {
+	t.Helper()
+	mod, err := Load("testdata/callgraph", LoadConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod.CallGraph()
+}
+
+// node finds a function by its stable Name, failing the test if absent.
+func node(t *testing.T, cg *CallGraph, name string) *FuncNode {
+	t.Helper()
+	for _, n := range cg.Funcs() {
+		if n.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("call graph has no node %q", name)
+	return nil
+}
+
+// TestCallGraphMethodValue checks that binding a method value into a local
+// and calling through it yields a signature-matched EdgeFuncValue candidate
+// pointing at the method, marked Local (the value's origin is visible at
+// this call's caller).
+func TestCallGraphMethodValue(t *testing.T) {
+	cg := loadCallGraphFixture(t)
+	n := node(t, cg, "UseMethodValue")
+	var hit bool
+	for _, e := range n.Calls {
+		if e.Kind == EdgeFuncValue && e.Callee != nil && e.Callee.Name() == "(Worker).Method" {
+			hit = true
+			if !e.Local {
+				t.Errorf("method-value call through a local should be Local")
+			}
+		}
+		if e.Kind == EdgeUnresolved {
+			t.Errorf("method-value call left an unresolved edge: the bound method is the only matching address-taken function")
+		}
+	}
+	if !hit {
+		t.Errorf("no EdgeFuncValue to (Worker).Method in UseMethodValue; edges: %v", kinds(n))
+	}
+}
+
+// TestCallGraphDeferredCalls checks defer of both a package function and a
+// concrete method: direct edges with the Deferred flag set.
+func TestCallGraphDeferredCalls(t *testing.T) {
+	cg := loadCallGraphFixture(t)
+	n := node(t, cg, "UseDefer")
+	want := map[string]bool{"target": false, "(Worker).Method": false}
+	for _, e := range n.Calls {
+		if e.Kind != EdgeDirect || e.Callee == nil {
+			continue
+		}
+		name := e.Callee.Name()
+		if _, ok := want[name]; !ok {
+			continue
+		}
+		if !e.Deferred {
+			t.Errorf("deferred call to %s lost its Deferred flag", name)
+		}
+		want[name] = true
+	}
+	for name, seen := range map[string]bool{"target": want["target"], "(Worker).Method": want["(Worker).Method"]} {
+		if !seen {
+			t.Errorf("no direct deferred edge to %s in UseDefer; edges: %v", name, kinds(n))
+		}
+	}
+}
+
+// TestCallGraphFuncField checks a call through a function-typed struct
+// field: signature-matched candidates, and crucially NOT Local — a struct
+// field is a mutable dispatch point, unlike a parameter.
+func TestCallGraphFuncField(t *testing.T) {
+	cg := loadCallGraphFixture(t)
+	n := node(t, cg, "UseField")
+	var hit bool
+	for _, e := range n.Calls {
+		if e.Kind != EdgeFuncValue {
+			continue
+		}
+		hit = true
+		if e.Local {
+			t.Errorf("call through struct field must not be Local")
+		}
+	}
+	if !hit {
+		t.Errorf("no EdgeFuncValue for the struct-field call in UseField; edges: %v", kinds(n))
+	}
+}
+
+// TestCallGraphGoStatement checks that go statements keep their direct
+// resolution and carry the Go flag.
+func TestCallGraphGoStatement(t *testing.T) {
+	cg := loadCallGraphFixture(t)
+	n := node(t, cg, "UseGo")
+	var hit bool
+	for _, e := range n.Calls {
+		if e.Kind == EdgeDirect && e.Callee != nil && e.Callee.Name() == "target" {
+			hit = true
+			if !e.Go {
+				t.Errorf("go statement edge lost its Go flag")
+			}
+		}
+	}
+	if !hit {
+		t.Errorf("no direct edge to target in UseGo; edges: %v", kinds(n))
+	}
+}
+
+// kinds renders a node's edges for failure messages.
+func kinds(n *FuncNode) []string {
+	var out []string
+	for _, e := range n.Calls {
+		s := e.Kind.String()
+		if e.Callee != nil {
+			s += ":" + e.Callee.Name()
+		}
+		out = append(out, s)
+	}
+	return out
+}

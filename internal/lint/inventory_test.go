@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestHotPathInventoryGolden pins the committed hot-path annotation
+// inventory: adding or removing a //dophy:hotpath annotation must show up
+// in review as a diff to hotpath-inventory.txt, not slip through silently.
+// The inventory is the union over build-tag variants, matching what
+// `dophy-lint -hotpaths` prints.
+func TestHotPathInventoryGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module load is slow under -short")
+	}
+	seen := map[string]bool{}
+	var lines []string
+	for _, tags := range [][]string{nil, {"dophy_invariants"}} {
+		mod, err := Load("../..", LoadConfig{Tags: tags})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range Inventory(mod) {
+			if !seen[l] {
+				seen[l] = true
+				lines = append(lines, l)
+			}
+		}
+	}
+	sort.Strings(lines)
+	got := strings.Join(lines, "\n") + "\n"
+
+	wantBytes, err := os.ReadFile("../../hotpath-inventory.txt")
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with `go run ./cmd/dophy-lint -hotpaths > hotpath-inventory.txt`): %v", err)
+	}
+	if got != string(wantBytes) {
+		t.Errorf("hot-path inventory drifted from the committed golden;\n"+
+			"regenerate with: go run ./cmd/dophy-lint -hotpaths > hotpath-inventory.txt\n"+
+			"--- current annotations ---\n%s--- golden ---\n%s", got, wantBytes)
+	}
+}

@@ -31,7 +31,10 @@ type Rule interface {
 
 // AllRules returns the full rule catalogue.
 func AllRules() []Rule {
-	return []Rule{ruleRand{}, ruleWallTime{}, ruleMapRange{}, ruleGoStmt{}, rulePoolEscape{}, ruleDenseBound{}}
+	return []Rule{
+		ruleRand{}, ruleWallTime{}, ruleMapRange{}, ruleGoStmt{}, rulePoolEscape{}, ruleDenseBound{},
+		ruleHotPathAlloc{}, ruleDetermFlow{},
+	}
 }
 
 // PragmaPrefix introduces an in-source waiver comment:
@@ -48,48 +51,54 @@ type allowKey struct {
 	rule string
 }
 
-// collectAllows scans a file's comments for pragma waivers.
-func collectAllows(fset *token.FileSet, f *ast.File, into map[allowKey]bool) {
-	for _, cg := range f.Comments {
-		for _, c := range cg.List {
-			rest, ok := strings.CutPrefix(c.Text, PragmaPrefix)
-			if !ok {
-				continue
-			}
-			fields := strings.Fields(rest)
-			if len(fields) == 0 {
-				continue
-			}
-			pos := fset.Position(c.Pos())
-			into[allowKey{pos.Filename, pos.Line, fields[0]}] = true
-		}
-	}
-}
-
 // Run applies the rules to every package and returns the surviving
 // diagnostics sorted by position. Pragma-waived diagnostics are dropped.
+// Stale-waiver diagnostics are NOT included — they depend on the tag set
+// being linted, so callers that lint several tag sets must use RunDetail
+// and intersect the stale sets.
 func (m *Module) Run(rules []Rule) []Diagnostic {
-	allows := map[allowKey]bool{}
-	for _, pkg := range m.Packages {
-		for _, f := range pkg.Files {
-			collectAllows(m.Fset, f.AST, allows)
-		}
-	}
-	var diags []Diagnostic
+	diags, _ := m.RunDetail(rules)
+	return diags
+}
+
+// RunDetail applies the rules and returns two diagnostic sets:
+//
+//   - diags: rule violations surviving waivers, plus structurally broken
+//     pragmas (no rules, unknown rule, missing justification). These are
+//     definitive for the tag set linted.
+//   - stale: waivers that suppressed nothing during this run. A waiver may
+//     legitimately bite only under another tag set (e.g. dophy_invariants
+//     builds), so staleness is only actionable once intersected across
+//     every tag set the caller lints.
+func (m *Module) RunDetail(rules []Rule) (diags, stale []Diagnostic) {
+	idx := m.newPragmaIndex(rules)
+	m.pidx = idx
+	defer func() { m.pidx = nil }()
 	for _, pkg := range m.Packages {
 		for _, r := range rules {
 			rule := r
 			report := func(pos token.Pos, format string, args ...any) {
-				p := m.Fset.Position(pos)
-				if allows[allowKey{p.Filename, p.Line, rule.Name()}] ||
-					allows[allowKey{p.Filename, p.Line - 1, rule.Name()}] {
+				if idx.allowedAt(rule.Name(), pos) {
 					return
 				}
+				p := m.Fset.Position(pos)
 				diags = append(diags, Diagnostic{Pos: p, Rule: rule.Name(), Msg: fmt.Sprintf(format, args...)})
 			}
 			rule.Check(m, pkg, report)
 		}
 	}
+	diags = append(diags, idx.malformedPragmaDiags()...)
+	sortDiags(diags)
+	stale = idx.staleDiags()
+	sortDiags(stale)
+	return diags, stale
+}
+
+// SortDiagnostics orders diags by position then rule — the canonical output
+// order, exposed for drivers that merge diagnostics from several passes.
+func SortDiagnostics(diags []Diagnostic) { sortDiags(diags) }
+
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -101,9 +110,11 @@ func (m *Module) Run(rules []Rule) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Msg < b.Msg
 	})
-	return diags
 }
 
 // importNames returns the local identifier(s) a file binds to the given

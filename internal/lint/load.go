@@ -62,6 +62,21 @@ type Module struct {
 	// pooled lazily caches the module-wide pooled-type registry used by
 	// the poolescape rule (see rules.go).
 	pooled map[types.Object]bool
+	// cg, implCache and named lazily cache the whole-module call graph
+	// and its class-hierarchy support data (see callgraph.go).
+	cg        *CallGraph
+	implCache map[*types.Interface][]types.Type
+	named     []types.Type
+	// hotDiags caches the hotpathalloc analysis (hotpath.go), which is
+	// whole-module: computed on first Check, replayed per package.
+	hotDiags *[]hotDiag
+	// pidx is the pragma index of the Run in flight. The determflow rule
+	// consults it so a waiver at a taint source or propagation edge kills
+	// the chain there (and counts as usage) instead of requiring a waiver
+	// at every downstream sink. taintDiags caches that analysis per index.
+	pidx       *pragmaIndex
+	taintFor   *pragmaIndex
+	taintDiags []hotDiag
 }
 
 // LoadConfig parameterises module loading.
@@ -103,10 +118,30 @@ func Load(root string, cfg LoadConfig) (*Module, error) {
 			return nil, fmt.Errorf("lint: loading %s: %w", rel, err)
 		}
 	}
+	// A module-local import that failed to load (missing directory, parse
+	// error, ...) means whole packages were type-checked against a hole:
+	// their diagnostics would be silently incomplete, so a clean exit would
+	// lie. Load failures are fatal, not best-effort (unlike ordinary type
+	// errors, which analysis tolerates).
+	if len(l.loadErrs) > 0 {
+		return nil, fmt.Errorf("lint: %w", errorsJoin(l.loadErrs))
+	}
 	sort.Slice(l.mod.Packages, func(i, j int) bool {
 		return l.mod.Packages[i].RelPath < l.mod.Packages[j].RelPath
 	})
 	return l.mod, nil
+}
+
+// errorsJoin is errors.Join constrained to the non-empty case.
+func errorsJoin(errs []error) error {
+	if len(errs) == 1 {
+		return errs[0]
+	}
+	msgs := make([]string, len(errs))
+	for i, e := range errs {
+		msgs[i] = e.Error()
+	}
+	return fmt.Errorf("%s", strings.Join(msgs, "; "))
 }
 
 // modulePath extracts the module directive from a go.mod file.
@@ -173,6 +208,9 @@ type loader struct {
 	cfg LoadConfig
 	std types.Importer
 	tc  map[string]*Package // keyed by RelPath
+	// loadErrs collects module-local import failures encountered while
+	// type-checking. They are fatal at the end of Load: see Load.
+	loadErrs []error
 }
 
 // load parses and type-checks the package in module-relative directory rel.
@@ -183,11 +221,17 @@ func (l *loader) load(rel string) (*Package, error) {
 		}
 		return p, nil
 	}
-	l.tc[rel] = nil // cycle marker
+	l.tc[rel] = nil // cycle marker; cleared again on every error path
+	fail := func(err error) (*Package, error) {
+		// Leave no stale cycle marker behind: a later load of the same
+		// directory must report the real error, not a phantom cycle.
+		delete(l.tc, rel)
+		return nil, err
+	}
 	dir := filepath.Join(l.mod.Root, rel)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	pkg := &Package{RelPath: rel, Path: l.mod.Path}
 	if rel != "" {
@@ -204,14 +248,14 @@ func (l *loader) load(rel string) (*Package, error) {
 		}
 		src, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		if !l.buildOK(src) {
 			continue
 		}
 		f, err := parser.ParseFile(l.mod.Fset, filepath.Join(dir, name), src, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		relName := name
 		if rel != "" {
@@ -221,8 +265,7 @@ func (l *loader) load(rel string) (*Package, error) {
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		delete(l.tc, rel)
-		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+		return fail(fmt.Errorf("no buildable Go files in %s", dir))
 	}
 	pkg.Info = &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
@@ -268,6 +311,10 @@ func (l *loader) importPath(path string) (*types.Package, error) {
 func (l *loader) loadImport(rel string) (*types.Package, error) {
 	p, err := l.load(filepath.FromSlash(rel))
 	if err != nil {
+		// The type-checker swallows importer errors into per-package
+		// TypeErrors, which are advisory; a module-local package that
+		// cannot load at all must fail the whole run instead (see Load).
+		l.loadErrs = append(l.loadErrs, fmt.Errorf("loading %s: %w", l.mod.Path+"/"+rel, err))
 		return nil, err
 	}
 	return p.Types, nil

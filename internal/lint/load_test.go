@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadFailsOnBrokenSubdirectory guards the fatality of module-local
+// load failures: a package that cannot be loaded means other packages were
+// type-checked against a hole, so Load must error out instead of returning
+// a module whose diagnostics would be silently incomplete (and letting
+// dophy-lint exit 0 over unlinted code).
+func TestLoadFailsOnBrokenSubdirectory(t *testing.T) {
+	mod, err := Load("testdata/brokenmod", LoadConfig{})
+	if err == nil {
+		t.Fatal("Load returned nil error for a module with an unresolvable local import; load failures must be fatal")
+	}
+	if mod != nil {
+		t.Errorf("Load returned a non-nil module alongside the error")
+	}
+	if !strings.Contains(err.Error(), "brokenfix/missing") {
+		t.Errorf("load error should name the unresolvable import brokenfix/missing, got: %v", err)
+	}
+}
+
+// TestLoadHealthyFixture pins the complementary happy path on the same
+// loader: the main fixture module loads without error.
+func TestLoadHealthyFixture(t *testing.T) {
+	mod, err := Load("testdata/src", LoadConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mod.Packages) == 0 {
+		t.Fatal("fixture module loaded zero packages")
+	}
+}

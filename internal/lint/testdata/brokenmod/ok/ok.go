@@ -1,0 +1,8 @@
+// Package ok is well-formed but imports a module-local package that does
+// not exist, which must fail the whole load rather than silently lint an
+// incomplete module.
+package ok
+
+import "brokenfix/missing"
+
+var _ = missing.Value

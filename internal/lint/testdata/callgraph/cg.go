@@ -1,0 +1,39 @@
+// Package cgfix exercises call-graph construction corners: method values,
+// deferred and go calls, and calls through function-typed struct fields.
+package cgfix
+
+// Worker carries a function-typed field that is called indirectly. The
+// parameter name matters: signature matching canonicalises via
+// types.TypeString, so "func(x int)" here lines up with the bound method
+// value's receiverless signature.
+type Worker struct {
+	Hook func(x int)
+}
+
+// Method is the target reached through a bound method value.
+func (w Worker) Method(x int) {}
+
+func target(x int) {}
+
+// UseMethodValue binds a method value into a local and calls through it.
+func UseMethodValue(w Worker) {
+	mv := w.Method
+	mv(1)
+}
+
+// UseDefer defers a direct call and a method call.
+func UseDefer(w Worker) {
+	defer target(0)
+	defer w.Method(3)
+}
+
+// UseField calls through a function-typed struct field: a mutable dispatch
+// point, so the edge must not be marked Local.
+func UseField(w Worker) {
+	w.Hook(2)
+}
+
+// UseGo spawns a goroutine running a direct callee.
+func UseGo() {
+	go target(1)
+}

@@ -1,0 +1,12 @@
+// Package helpers sits outside the deterministic core (not under
+// internal/), so its wall-clock use is legal locally — but sink-scope code
+// calling into it must be flagged at the boundary.
+package helpers
+
+import "time"
+
+// Stamp returns a wall-clock tag, two calls away from time.Now as seen
+// from any caller.
+func Stamp() int64 { return now() }
+
+func now() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,11 @@
+package sim
+
+import "fixture/helpers"
+
+var last int64
+
+// Tick is a simulated event handler: the helper call launders time.Now
+// through two frames, which only the inter-procedural taint analysis sees.
+func Tick() {
+	last = helpers.Stamp() // want "call into helpers.Stamp carries nondeterminism from time.Now (chain: helpers.Stamp -> helpers.now -> time.Now)"
+}

@@ -24,6 +24,36 @@ func NewDense(rows, cols int) *Dense {
 	return &Dense{Rows: rows, Cols: cols, data: make([]float64, rows*cols)}
 }
 
+// Reshape reconfigures m to rows x cols with every element zero, reusing
+// the backing slice when it has capacity — the allocation-free counterpart
+// of NewDense for solver scratch that is resized every epoch.
+func (m *Dense) Reshape(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		panic("mat: negative dimensions")
+	}
+	n := rows * cols
+	if cap(m.data) < n {
+		//dophy:allow hotpathalloc -- scratch grows to the problem's high-water mark, then is reused
+		m.data = make([]float64, n)
+	} else {
+		m.data = m.data[:n]
+		clear(m.data)
+	}
+	m.Rows, m.Cols = rows, cols
+}
+
+// growFloats returns s with length n and every element zero, reusing the
+// backing array when it is large enough.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		//dophy:allow hotpathalloc -- scratch grows to the problem's high-water mark, then is reused
+		return make([]float64, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
 // At returns element (i, j).
 func (m *Dense) At(i, j int) float64 { return m.data[i*m.Cols+j] }
 
@@ -65,10 +95,20 @@ func (m *Dense) MulVecTo(dst, x []float64) {
 
 // TMulVec returns A^T * y.
 func (m *Dense) TMulVec(y []float64) []float64 {
-	if len(y) != m.Rows {
-		panic(fmt.Sprintf("mat: TMulVec dimension mismatch %d vs %d", len(y), m.Rows))
-	}
 	out := make([]float64, m.Cols)
+	m.TMulVecTo(out, y)
+	return out
+}
+
+// TMulVecTo computes A^T * y into dst, which must have length Cols and be
+// zeroed by the caller — the allocation-free variant of TMulVec.
+func (m *Dense) TMulVecTo(dst, y []float64) {
+	if len(y) != m.Rows {
+		panic(fmt.Sprintf("mat: TMulVecTo dimension mismatch %d vs %d", len(y), m.Rows))
+	}
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("mat: TMulVecTo dst length %d, want %d", len(dst), m.Cols))
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.data[i*m.Cols : (i+1)*m.Cols]
 		yi := y[i]
@@ -76,15 +116,26 @@ func (m *Dense) TMulVec(y []float64) []float64 {
 			continue
 		}
 		for j, a := range row {
-			out[j] += a * yi
+			dst[j] += a * yi
 		}
 	}
-	return out
 }
 
 // Gram returns A^T A (Cols x Cols, symmetric positive semidefinite).
 func (m *Dense) Gram() *Dense {
 	g := NewDense(m.Cols, m.Cols)
+	m.gramInto(g)
+	return g
+}
+
+// GramInto computes A^T A into g, reshaping it to Cols x Cols and reusing
+// its backing storage.
+func (m *Dense) GramInto(g *Dense) {
+	g.Reshape(m.Cols, m.Cols)
+	m.gramInto(g)
+}
+
+func (m *Dense) gramInto(g *Dense) {
 	for i := 0; i < m.Rows; i++ {
 		row := m.data[i*m.Cols : (i+1)*m.Cols]
 		for a := 0; a < m.Cols; a++ {
@@ -103,7 +154,6 @@ func (m *Dense) Gram() *Dense {
 			g.data[b*m.Cols+a] = g.data[a*m.Cols+b]
 		}
 	}
-	return g
 }
 
 // ErrNotSPD reports a Cholesky failure (matrix not positive definite).
@@ -171,27 +221,51 @@ func RidgeLeastSquares(a *Dense, b []float64, ridge float64) ([]float64, error) 
 // NNLS solves min ||A x - b||^2 subject to x >= 0 by projected gradient
 // descent with a step from the Gram matrix's row-sum bound. It converges
 // linearly and is robust on the small ill-conditioned systems tomography
-// produces. iters bounds the work; tol stops early on stagnation.
+// produces. iters bounds the work; tol stops early on stagnation. The
+// caller owns the returned slice; per-epoch callers should hold an
+// NNLSSolver instead and reuse its scratch.
 func NNLS(a *Dense, b []float64, iters int, tol float64) []float64 {
-	g := a.Gram()
+	var s NNLSSolver
+	return s.Solve(a, b, iters, tol)
+}
+
+// NNLSSolver runs NNLS repeatedly over same-shaped or differently-shaped
+// systems, reusing its Gram matrix and vector scratch across Solve calls.
+// The zero value is ready to use.
+type NNLSSolver struct {
+	g    Dense
+	x    []float64
+	atb  []float64
+	grad []float64
+}
+
+// Solve is NNLS with reusable scratch. The returned slice aliases the
+// solver's scratch and is valid until the next Solve call.
+func (s *NNLSSolver) Solve(a *Dense, b []float64, iters int, tol float64) []float64 {
+	a.GramInto(&s.g)
+	g := &s.g
 	// Lipschitz bound: max row sum of |G| >= spectral norm.
 	lip := 0.0
 	for i := 0; i < g.Rows; i++ {
-		s := 0.0
+		sum := 0.0
 		for j := 0; j < g.Cols; j++ {
-			s += math.Abs(g.At(i, j))
+			sum += math.Abs(g.At(i, j))
 		}
-		if s > lip {
-			lip = s
+		if sum > lip {
+			lip = sum
 		}
 	}
-	x := make([]float64, a.Cols)
+	s.x = growFloats(s.x, a.Cols)
+	x := s.x
 	if lip == 0 {
 		return x // A is zero: x = 0 is optimal
 	}
 	step := 1 / lip
-	atb := a.TMulVec(b)
-	grad := make([]float64, g.Rows)
+	s.atb = growFloats(s.atb, a.Cols)
+	a.TMulVecTo(s.atb, b)
+	atb := s.atb
+	s.grad = growFloats(s.grad, g.Rows)
+	grad := s.grad
 	for it := 0; it < iters; it++ {
 		// grad = G x - A^T b
 		g.MulVecTo(grad, x)

@@ -115,6 +115,14 @@ type Protocol struct {
 	// beaconFns holds one prebuilt beacon handler per node, so periodic
 	// rescheduling does not allocate a fresh closure every beacon.
 	beaconFns []sim.Handler
+	// beaconNowFns are the prebuilt immediate-beacon handlers used by
+	// scheduleNow, for the same reason: data-path trouble triggers one per
+	// failed ARQ exchange, squarely on the packet hot path.
+	beaconNowFns []sim.Handler
+	// candBuf/metricBuf are randomizeParent's candidate scratch, reused
+	// across calls so forced churn does not allocate per beacon.
+	candBuf   []topo.NodeID
+	metricBuf []float64
 
 	BeaconsSent int64 // total beacon transmissions (protocol overhead)
 }
@@ -159,9 +167,14 @@ func (p *Protocol) Start() {
 	}
 	p.started = true
 	p.beaconFns = make([]sim.Handler, len(p.nodes))
+	p.beaconNowFns = make([]sim.Handler, len(p.nodes))
 	for i := range p.nodes {
 		id := topo.NodeID(i)
 		p.beaconFns[i] = func() { p.beacon(id) }
+		p.beaconNowFns[i] = func() {
+			p.pendingBeacon[id] = false
+			p.beaconOnce(id)
+		}
 		firstPeriod := p.cfg.BeaconPeriod
 		if p.cfg.AdaptiveBeacon {
 			p.nodes[i].interval = p.cfg.BeaconMin
@@ -202,6 +215,8 @@ func (p *Protocol) trickleReset(ns *nodeState) {
 }
 
 // beacon transmits one beacon from id and reschedules.
+//
+//dophy:hotpath
 func (p *Protocol) beacon(id topo.NodeID) {
 	ns := p.nodes[id]
 	p.beaconOnce(id)
@@ -225,6 +240,8 @@ func (p *Protocol) beacon(id topo.NodeID) {
 }
 
 // receiveBeacon processes a beacon from neighbour 'from' at node 'at'.
+//
+//dophy:hotpath
 func (p *Protocol) receiveBeacon(at, from topo.NodeID, seq int64, advertisedETX float64) {
 	ns := p.nodes[at]
 	info := ns.neighbors[from]
@@ -268,6 +285,8 @@ func (p *Protocol) updateLinkETX(info *neighborInfo, sample, alpha float64) {
 }
 
 // OnDataResult feeds an ARQ outcome back into the sender's link estimator.
+//
+//dophy:hotpath
 func (p *Protocol) OnDataResult(from, to topo.NodeID, res mac.Result) {
 	ns := p.nodes[from]
 	info := ns.neighbors[to]
@@ -292,18 +311,19 @@ func (p *Protocol) OnDataResult(from, to topo.NodeID, res mac.Result) {
 
 // scheduleNow queues an immediate extra beacon for id (at most one pending
 // at a time) so route changes propagate without waiting a full interval.
+//
+//dophy:hotpath
 func (p *Protocol) scheduleNow(id topo.NodeID) {
 	if !p.cfg.AdaptiveBeacon || !p.started {
 		return
 	}
-	p.eng.After(p.cfg.BeaconMin*sim.Time(0.25*(1+p.r.Float64())), func() {
-		p.pendingBeacon[id] = false
-		p.beaconOnce(id)
-	})
+	p.eng.After(p.cfg.BeaconMin*sim.Time(0.25*(1+p.r.Float64())), p.beaconNowFns[id])
 	p.pendingBeacon[id] = true
 }
 
 // beaconOnce transmits a beacon without touching the periodic schedule.
+//
+//dophy:hotpath
 func (p *Protocol) beaconOnce(id topo.NodeID) {
 	ns := p.nodes[id]
 	ns.beaconSeq++
@@ -380,8 +400,8 @@ func (p *Protocol) selectParent(id topo.NodeID) {
 // randomizeParent picks a uniformly random admissible candidate.
 func (p *Protocol) randomizeParent(id topo.NodeID) {
 	ns := p.nodes[id]
-	var cands []topo.NodeID
-	var metrics []float64
+	cands := p.candBuf[:0]
+	metrics := p.metricBuf[:0]
 	// The topology's neighbour lists are sorted by node id, so candidates
 	// come out in deterministic ascending order with no post-sort.
 	for _, nb := range p.tp.Neighbors(id) {
@@ -391,6 +411,7 @@ func (p *Protocol) randomizeParent(id topo.NodeID) {
 			metrics = append(metrics, m)
 		}
 	}
+	p.candBuf, p.metricBuf = cands, metrics
 	if len(cands) == 0 {
 		return
 	}

@@ -28,6 +28,7 @@ func (iv *engineInvariants) onReuse(e *Engine, ev *Event) {
 // recycle of the same pointer is a double free.
 func (iv *engineInvariants) onRecycle(e *Engine, ev *Event) {
 	if iv.inFree == nil {
+		//dophy:allow hotpathalloc -- one-time lazy init per engine; amortised to zero over a run
 		iv.inFree = make(map[*Event]bool)
 	}
 	if iv.inFree[ev] {

@@ -40,11 +40,14 @@ func DefaultConfig() Config {
 }
 
 // Estimator solves the baseline for successive epochs of one topology,
-// reusing its row/column scratch across calls. Only the solver matrix and
-// the returned estimate vector are allocated per epoch.
+// reusing its row/column scratch, system matrix, and NNLS workspace across
+// calls. Only the returned estimate vector is allocated per epoch.
 type Estimator struct {
 	cfg Config
 	lt  *topo.LinkTable
+
+	a    mat.Dense      // system matrix scratch, reshaped per epoch
+	nnls mat.NNLSSolver // solver scratch
 
 	// colOf maps table index -> compact solver column (-1 = not on any
 	// usable path this epoch); cols is the inverse, in first-encounter
@@ -71,6 +74,8 @@ func NewEstimator(lt *topo.LinkTable, cfg Config) *Estimator {
 // Estimate runs the baseline over one epoch of sink observations. The
 // result is dense, indexed by the link table; NaN marks links not on any
 // usable path. The caller owns the returned slice.
+//
+//dophy:hotpath
 func (est *Estimator) Estimate(e *epochobs.Epoch) []float64 {
 	cfg := est.cfg
 	for _, c := range est.cols {
@@ -117,6 +122,7 @@ func (est *Estimator) Estimate(e *epochobs.Epoch) []float64 {
 	}
 	est.rowStart = append(est.rowStart, int32(len(est.pathBuf)))
 
+	//dophy:allow hotpathalloc -- the dense estimate vector is the epoch's product; the caller owns it
 	out := make([]float64, est.lt.Len())
 	for i := range out {
 		out[i] = math.NaN()
@@ -125,13 +131,14 @@ func (est *Estimator) Estimate(e *epochobs.Epoch) []float64 {
 	if rows == 0 || len(est.cols) == 0 {
 		return out
 	}
-	a := mat.NewDense(rows, len(est.cols))
+	est.a.Reshape(rows, len(est.cols))
+	a := &est.a
 	for i := 0; i < rows; i++ {
 		for _, li := range est.pathBuf[est.rowStart[i]:est.rowStart[i+1]] {
 			a.Set(i, int(est.colOf[li]), 1)
 		}
 	}
-	x := mat.NNLS(a, est.b, cfg.Iters, cfg.Tol)
+	x := est.nnls.Solve(a, est.b, cfg.Iters, cfg.Tol)
 	for j, li := range est.cols {
 		drop := 1 - math.Exp(-x[j]) // per-hop post-ARQ drop probability
 		out[li] = geomle.LossFromDrop(drop, cfg.MaxAttempts)

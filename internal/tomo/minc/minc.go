@@ -75,6 +75,7 @@ func NewEstimator(lt *topo.LinkTable, cfg Config) *Estimator {
 // backing array when it is large enough.
 func resize(s []float64, n int) []float64 {
 	if cap(s) < n {
+		//dophy:allow hotpathalloc -- scratch grows to the epoch's high-water mark, then is reused
 		return make([]float64, n)
 	}
 	s = s[:n]
@@ -85,6 +86,8 @@ func resize(s []float64, n int) []float64 {
 // Estimate runs tree EM over one epoch. The result is dense, indexed by
 // the link table; NaN marks links not on any usable path. The caller owns
 // the returned slice.
+//
+//dophy:hotpath
 func (est *Estimator) Estimate(e *epochobs.Epoch) []float64 {
 	cfg := est.cfg
 	for _, c := range est.cols {
@@ -131,6 +134,7 @@ func (est *Estimator) Estimate(e *epochobs.Epoch) []float64 {
 	}
 	est.srcStart = append(est.srcStart, int32(len(est.pathBuf)))
 
+	//dophy:allow hotpathalloc -- the dense estimate vector is the epoch's product; the caller owns it
 	out := make([]float64, est.lt.Len())
 	for i := range out {
 		out[i] = math.NaN()
