@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -95,17 +96,18 @@ func readPeakRSSKB() uint64 {
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-		csvFlag  = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		jsonFlag = flag.Bool("json", false, "emit a machine-readable benchmark report (suppresses tables)")
-		seedFlag = flag.Uint64("seed", 7, "base seed for all experiments")
-		listFlag = flag.Bool("list", false, "list experiment ids and exit")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "experiments to run concurrently (1 = sequential)")
-		workers  = flag.Int("workers", 0, "scenario-sweep worker pool size (0 = NumCPU)")
-		compare  = flag.String("compare", "", "previous -json report to diff against; exits nonzero on regression")
-		maxWall  = flag.Float64("max-wall-regress", 0.15, "per-experiment wall-clock regression tolerance for -compare")
-		maxAlloc = flag.Float64("max-allocs-regress", 0.10, "per-experiment allocs-per-run regression tolerance for -compare")
-		maxRSS   = flag.Float64("max-rss-regress", 0.30, "whole-run peak-RSS regression tolerance for -compare")
+		expFlag    = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		csvFlag    = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonFlag   = flag.Bool("json", false, "emit a machine-readable benchmark report (suppresses tables)")
+		seedFlag   = flag.Uint64("seed", 7, "base seed for all experiments")
+		listFlag   = flag.Bool("list", false, "list experiment ids and exit")
+		parallel   = flag.Int("parallel", runtime.NumCPU(), "experiments to run concurrently (1 = sequential)")
+		workers    = flag.Int("workers", 0, "scenario-sweep worker pool size (0 = NumCPU)")
+		compare    = flag.String("compare", "", "previous -json report to diff against; exits nonzero on regression")
+		maxWall    = flag.Float64("max-wall-regress", 0.15, "per-experiment wall-clock regression tolerance for -compare")
+		maxAlloc   = flag.Float64("max-allocs-regress", 0.10, "per-experiment allocs-per-run regression tolerance for -compare")
+		maxRSS     = flag.Float64("max-rss-regress", 0.30, "whole-run peak-RSS regression tolerance for -compare")
+		requireAll = flag.Bool("require-all", false, "fail -compare when any baseline experiment was not rerun")
 	)
 	flag.Parse()
 
@@ -235,7 +237,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "dophy-bench: -compare: %v\n", err)
 				os.Exit(2)
 			}
-			if !compareReports(os.Stderr, old, &rep, *maxWall, *maxAlloc, *maxRSS) {
+			if !compareReports(os.Stderr, old, &rep, *maxWall, *maxAlloc, *maxRSS, *requireAll) {
 				os.Exit(1)
 			}
 		}
@@ -273,8 +275,11 @@ const minCompareWallS = 0.25
 // experiment (matched on ID), and reports whether the run is within the
 // given tolerances. Fields the baseline lacks — per-experiment mallocs from
 // pre-compare report formats, or experiments that are new — are skipped
-// rather than failed, so old BENCH_*.json files stay usable.
-func compareReports(out *os.File, old, cur *benchReport, maxWall, maxAlloc, maxRSS float64) bool {
+// rather than failed, so old BENCH_*.json files stay usable. Baseline
+// experiments absent from the fresh run are always listed; with requireAll
+// they fail the comparison, so a partial -exp rerun cannot masquerade as a
+// full regression gate.
+func compareReports(out io.Writer, old, cur *benchReport, maxWall, maxAlloc, maxRSS float64, requireAll bool) bool {
 	byID := map[string]*benchExperiment{}
 	for i := range old.Experiments {
 		byID[old.Experiments[i].ID] = &old.Experiments[i]
@@ -312,6 +317,25 @@ func compareReports(out *os.File, old, cur *benchReport, maxWall, maxAlloc, maxR
 		}
 		fmt.Fprintf(out, "  %-4s wall %6.2fs -> %6.2fs (%+6.1f%%)  %s\n",
 			ne.ID, oe.WallS, ne.WallS, wallDelta, verdict)
+	}
+	reran := map[string]bool{}
+	for i := range cur.Experiments {
+		reran[cur.Experiments[i].ID] = true
+	}
+	var notRun []string
+	for i := range old.Experiments {
+		if !reran[old.Experiments[i].ID] {
+			notRun = append(notRun, old.Experiments[i].ID)
+		}
+	}
+	if len(notRun) > 0 {
+		verdict := "comparison covers the rerun subset only"
+		if requireAll {
+			verdict = "FAIL (-require-all)"
+			ok = false
+		}
+		fmt.Fprintf(out, "  baseline experiments not run: %s — %s\n",
+			strings.Join(notRun, ", "), verdict)
 	}
 	if cur.Parallel != 1 || old.Parallel != 1 {
 		fmt.Fprintf(out, "  note: per-experiment allocs only gate at -parallel 1 on both sides\n")

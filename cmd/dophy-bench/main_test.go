@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(ids ...string) *benchReport {
+	rep := &benchReport{Seed: 7, Parallel: 1, GoVersion: "go-test"}
+	for _, id := range ids {
+		rep.Experiments = append(rep.Experiments, benchExperiment{
+			ID: id, WallS: 1.0, Runs: 10, Mallocs: 1000,
+		})
+	}
+	return rep
+}
+
+func TestCompareReportsFullCoverage(t *testing.T) {
+	var buf strings.Builder
+	old, cur := report("T1", "T2"), report("T1", "T2")
+	if !compareReports(&buf, old, cur, 0.15, 0.10, 0.30, true) {
+		t.Fatalf("identical reports must pass -require-all:\n%s", buf.String())
+	}
+	if strings.Contains(buf.String(), "not run") {
+		t.Fatalf("full coverage must not report missing experiments:\n%s", buf.String())
+	}
+}
+
+func TestCompareReportsListsNotRun(t *testing.T) {
+	var buf strings.Builder
+	old, cur := report("T1", "T2", "T4"), report("T1")
+	if !compareReports(&buf, old, cur, 0.15, 0.10, 0.30, false) {
+		t.Fatalf("partial rerun without -require-all must pass:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "baseline experiments not run: T2, T4") {
+		t.Fatalf("missing coverage summary:\n%s", buf.String())
+	}
+}
+
+func TestCompareReportsRequireAllFails(t *testing.T) {
+	var buf strings.Builder
+	old, cur := report("T1", "T2"), report("T2")
+	if compareReports(&buf, old, cur, 0.15, 0.10, 0.30, true) {
+		t.Fatalf("-require-all must fail on a partial rerun:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "FAIL (-require-all)") {
+		t.Fatalf("missing -require-all verdict:\n%s", buf.String())
+	}
+}
+
+func TestCompareReportsWallRegression(t *testing.T) {
+	var buf strings.Builder
+	old, cur := report("T1"), report("T1")
+	cur.Experiments[0].WallS = 2.0
+	if compareReports(&buf, old, cur, 0.15, 0.10, 0.30, false) {
+		t.Fatalf("doubled wall-clock must fail:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "WALL REGRESSION") {
+		t.Fatalf("missing wall verdict:\n%s", buf.String())
+	}
+}
+
+func TestCompareReportsAllocRegression(t *testing.T) {
+	var buf strings.Builder
+	old, cur := report("T1"), report("T1")
+	cur.Experiments[0].Mallocs = 2000
+	if compareReports(&buf, old, cur, 0.15, 0.10, 0.30, false) {
+		t.Fatalf("doubled allocs/run must fail:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "ALLOC REGRESSION") {
+		t.Fatalf("missing alloc verdict:\n%s", buf.String())
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -122,7 +123,10 @@ func main() {
 
 	switch {
 	case *jsonOut:
-		emitJSON(diags)
+		if err := emitJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "dophy-lint:", err)
+			os.Exit(2)
+		}
 	default:
 		for _, d := range diags {
 			fmt.Println(d.String())
@@ -148,7 +152,10 @@ type jsonDiag struct {
 	Message string `json:"message"`
 }
 
-func emitJSON(diags []lint.Diagnostic) {
+// emitJSON writes the diagnostics as an indented JSON array. The shape is
+// locked by the golden in testdata/json.golden: CI consumers parse it, so
+// field renames are breaking changes.
+func emitJSON(w io.Writer, diags []lint.Diagnostic) error {
 	out := make([]jsonDiag, 0, len(diags))
 	for _, d := range diags {
 		out = append(out, jsonDiag{
@@ -159,12 +166,9 @@ func emitJSON(diags []lint.Diagnostic) {
 			Message: d.Msg,
 		})
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fmt.Fprintln(os.Stderr, "dophy-lint:", err)
-		os.Exit(2)
-	}
+	return enc.Encode(out)
 }
 
 // emitGitHub prints one GitHub Actions workflow annotation. File paths are

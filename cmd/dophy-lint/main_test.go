@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dophy/internal/lint"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata goldens instead of comparing")
+
+// goldenDiags is a fixed slice exercising every jsonDiag field, including
+// the empty-message and column-zero edges the encoder must not drop.
+func goldenDiags() []lint.Diagnostic {
+	return []lint.Diagnostic{
+		{
+			Pos:  token.Position{Filename: "internal/core/dophy.go", Line: 492, Column: 14},
+			Rule: "valrange",
+			Msg:  "decay factor passed to Obs.Decay is a boundary input (config/flag) not validated against [0, 1]",
+		},
+		{
+			Pos:  token.Position{Filename: "internal/lint/taint.go", Line: 150, Column: 3},
+			Rule: "exhaustive",
+			Msg:  "switch over EdgeKind misses EdgeExternal; name every member or waive the default with //dophy:allow exhaustive",
+		},
+		{
+			Pos:  token.Position{Filename: "internal/topo/table.go", Line: 7},
+			Rule: "idxdomain",
+			Msg:  `message with "quotes" & <angle brackets> survives encoding`,
+		},
+	}
+}
+
+// TestEmitJSONGolden locks the -json output schema byte-for-byte. CI
+// tooling parses this array, so any drift (field names, indentation,
+// HTML escaping) must be a deliberate, reviewed change: run
+// `go test ./cmd/dophy-lint -run Golden -update` and commit the diff.
+func TestEmitJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := emitJSON(&buf, goldenDiags()); err != nil {
+		t.Fatalf("emitJSON: %v", err)
+	}
+
+	golden := filepath.Join("testdata", "json.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-json output drifted from %s\ngot:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+// TestEmitJSONEmpty pins the no-violations case to a JSON array, not
+// null: consumers index into the result without a nil check.
+func TestEmitJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := emitJSON(&buf, nil); err != nil {
+		t.Fatalf("emitJSON: %v", err)
+	}
+	if got := buf.String(); got != "[]\n" {
+		t.Errorf("empty diagnostics encode as %q, want %q", got, "[]\n")
+	}
+}

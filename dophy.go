@@ -294,7 +294,8 @@ func (s *Simulation) RunEpoch() *Report {
 	// Table order is ascending (From, To), so the float accumulation below
 	// is deterministic without sorting.
 	var est, tru []float64
-	for i, loss := range se.Loss {
+	for i := topo.LinkIdx(0); i < se.Table.Count(); i++ {
+		loss := se.Loss[i]
 		if math.IsNaN(loss) {
 			continue
 		}

@@ -1,3 +1,8 @@
 module dophy
 
 go 1.22
+
+// Pin the exact toolchain so CI (go-version-file: go.mod) and local
+// builds compile with the same compiler; bump deliberately, not via
+// whatever setup-go resolves "1.22" to this week.
+toolchain go1.24.0

@@ -1,0 +1,67 @@
+package model
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// refFindCum is the obviously-correct linear scan findCum replaces: the
+// smallest i in [0, n) with cum[i+1] > v. It shares findCum's contract
+// that cum[n] > v, so the loop always returns.
+func refFindCum(cum []uint32, n int, v uint32) int {
+	for i := 0; i < n; i++ {
+		if cum[i+1] > v {
+			return i
+		}
+	}
+	panic("refFindCum: cum[n] <= v violates the findCum contract")
+}
+
+// fuzzCum decodes fuzz data as (alphabet size, frequency table, probe
+// value): byte 0 picks n in [1,32], the next n bytes give strictly
+// positive frequencies, and the final 4 bytes select v below the total
+// mass — the same contract Find is called under by the decoder.
+func fuzzCum(data []byte) (cum []uint32, n int, v uint32, ok bool) {
+	if len(data) < 6 {
+		return nil, 0, 0, false
+	}
+	n = 1 + int(data[0])%32
+	if len(data) < 1+n+4 {
+		return nil, 0, 0, false
+	}
+	cum = make([]uint32, n+1)
+	for i := 0; i < n; i++ {
+		cum[i+1] = cum[i] + 1 + uint32(data[1+i])
+	}
+	v = binary.LittleEndian.Uint32(data[1+n:]) % cum[n]
+	return cum, n, v, true
+}
+
+func FuzzFindCum(f *testing.F) {
+	// Single symbol: every probe must land on 0.
+	f.Add([]byte{0, 9, 0, 0, 0, 0})
+	// Uniform table, probe in the middle of the range.
+	f.Add([]byte{7, 1, 1, 1, 1, 1, 1, 1, 1, 3, 0, 0, 0})
+	// Skewed table shaped like a retransmission-count model.
+	f.Add([]byte{3, 200, 40, 8, 2, 0xff, 0xff, 0xff, 0xff})
+	// Probe at the very top of the mass (v = total-1 after mod).
+	f.Add([]byte{1, 1, 1, 0xfe, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cum, n, v, ok := fuzzCum(data)
+		if !ok {
+			t.Skip()
+		}
+		got := findCum(cum, n, v)
+		want := refFindCum(cum, n, v)
+		if got != want {
+			t.Fatalf("findCum(n=%d, v=%d) = %d, want %d (cum=%v)", n, v, got, want, cum)
+		}
+		// The returned bucket must actually bracket v, independent of the
+		// reference: cum[i] <= v < cum[i+1].
+		if cum[got] > v || v >= cum[got+1] {
+			t.Fatalf("findCum(n=%d, v=%d) = %d does not bracket v: cum[%d]=%d cum[%d]=%d",
+				n, v, got, got, cum[got], got+1, cum[got+1])
+		}
+	})
+}

@@ -186,7 +186,7 @@ func (r *EpochReport) NumEstimated() int {
 // SortedLinks returns the estimated links in deterministic (table) order.
 func (r *EpochReport) SortedLinks() []topo.Link {
 	var out []topo.Link
-	for i := range r.Est {
+	for i := topo.LinkIdx(0); i < r.Table.Count(); i++ {
 		if !math.IsNaN(r.Est[i].Loss) {
 			out = append(out, r.Table.Link(i))
 		}
@@ -450,7 +450,7 @@ func (d *Dophy) EndEpoch() *EpochReport {
 	for i := range rep.Est {
 		rep.Est[i].Loss = math.NaN()
 	}
-	for i := 0; i < d.linkObs.Len(); i++ {
+	for i := topo.LinkIdx(0); i < d.lt.Count(); i++ {
 		obs := d.linkObs.At(i)
 		total := obs.Total()
 		if total == 0 || total < float64(d.cfg.MinSamples) {
@@ -484,11 +484,12 @@ func (d *Dophy) EndEpoch() *EpochReport {
 		// Streaming estimator: forget exponentially instead of resetting.
 		// Links whose evidence decays below half an observation are zeroed
 		// outright — the dense equivalent of deleting the map entry.
-		for i := 0; i < d.linkObs.Len(); i++ {
+		for i := topo.LinkIdx(0); i < d.lt.Count(); i++ {
 			obs := d.linkObs.At(i)
 			if obs.Total() == 0 {
 				continue
 			}
+			//dophy:allow valrange -- Config.validate panics unless ObsDecay is in [0,1]
 			obs.Decay(d.cfg.ObsDecay)
 			if obs.Total() < 0.5 {
 				obs.Clear()

@@ -5,6 +5,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"dophy/internal/topo"
 )
 
 // coreInvariants enforces retransmission-count conservation at the sink:
@@ -34,7 +36,7 @@ func (iv *coreInvariants) onEndEpoch(d *Dophy) {
 		return
 	}
 	var total float64
-	for i := 0; i < d.linkObs.Len(); i++ {
+	for i := topo.LinkIdx(0); i < d.lt.Count(); i++ {
 		total += d.linkObs.At(i).Total()
 	}
 	if math.Abs(total-iv.epochHops) > 1e-6*(1+iv.epochHops) {
@@ -53,7 +55,7 @@ func (iv *coreInvariants) onEpochReset(d *Dophy) {
 	// Decayed estimators keep (decayed) history; just resynchronise the
 	// counter with what actually survived the boundary.
 	iv.epochHops = 0
-	for i := 0; i < d.linkObs.Len(); i++ {
+	for i := topo.LinkIdx(0); i < d.lt.Count(); i++ {
 		iv.epochHops += d.linkObs.At(i).Total()
 	}
 }

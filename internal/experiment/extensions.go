@@ -9,6 +9,7 @@ import (
 	"dophy/internal/energy"
 	"dophy/internal/stats"
 	"dophy/internal/tomo/pathrecord"
+	"dophy/internal/topo"
 )
 
 // The experiments in this file go beyond the paper's abstract: they probe
@@ -356,7 +357,8 @@ func T8(seed uint64) *Table {
 	}
 	for _, eo := range res.Epochs {
 		se := eo.Schemes[SchemeDophy]
-		for i, est := range se.Loss {
+		for i := topo.LinkIdx(0); i < se.Table.Count(); i++ {
+			est := se.Loss[i]
 			if math.IsNaN(est) {
 				continue
 			}

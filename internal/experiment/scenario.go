@@ -102,6 +102,9 @@ func (rs RadioSpec) Build(t *topo.Topology, seed uint64) radio.Model {
 	case RadioStatic:
 		m = radio.NewStatic(t, bp, seed)
 	case RadioUniformLoss:
+		if rs.UniformLoss < 0 || rs.UniformLoss > 1 {
+			panic(fmt.Sprintf("experiment: UniformLoss %v outside [0, 1]", rs.UniformLoss))
+		}
 		m = radio.NewStaticUniformLoss(t, rs.UniformLoss)
 	case RadioRandomWalk:
 		every := rs.WalkEvery
@@ -239,7 +242,8 @@ func Score(se *SchemeEpoch, truth *trace.Epoch, minAttempts int64) Accuracy {
 	// Table order is ascending (From, To), so the float summations below
 	// visit links deterministically without any sort.
 	var est, tru []float64
-	for i, loss := range se.Loss {
+	for i := topo.LinkIdx(0); se.Table != nil && i < se.Table.Count(); i++ {
+		loss := se.Loss[i]
 		if math.IsNaN(loss) {
 			continue
 		}

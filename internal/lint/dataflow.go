@@ -1,0 +1,1167 @@
+// dataflow.go is the abstract-interpretation layer behind the idxdomain and
+// valrange rules: a per-function forward analysis over go/ast + go/types
+// that tracks, for every reachable local value, which integer *domain* it
+// belongs to (link-table index, node id, neighbor offset, epoch counter) and
+// a numeric interval bounding it. Branch conditions refine intervals at
+// control-flow splits, joins widen them back, and loop bodies are analysed
+// once over a havocked environment, so the result is a sound (if coarse)
+// over-approximation without a fixpoint per loop.
+//
+// The analysis is whole-module and pragma-independent, so its diagnostics
+// are computed once per Module and replayed per package by the rules (the
+// same caching discipline hotpathalloc uses). A light inter-procedural
+// bridge rides on the PR-4 call graph: every function with a basic numeric
+// first result gets a return-value summary, iterated twice in call-graph
+// order so chains like LossFromDrop -> caller resolve without a full
+// context-sensitive analysis.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Domain classifies the integer quantities the simulator keeps distinct.
+// DomNone is "untracked" (bottom); DomMixed is the error state a value
+// enters once two real domains have been combined (top), kept so one bad
+// expression does not cascade into a report at every downstream use.
+type Domain uint8
+
+const (
+	DomNone Domain = iota
+	DomLinkIdx
+	DomNodeID
+	DomNbrOff
+	DomEpoch
+	DomMixed
+)
+
+var domainNames = [...]string{"untracked", "link-index", "node-id", "neighbor-offset", "epoch", "mixed"}
+
+func (d Domain) String() string { return domainNames[d] }
+
+func joinDom(a, b Domain) Domain {
+	switch {
+	case a == b:
+		return a
+	case a == DomNone:
+		return b
+	case b == DomNone:
+		return a
+	default:
+		return DomMixed
+	}
+}
+
+// interval is a closed numeric range with infinite endpoints allowed.
+type interval struct{ lo, hi float64 }
+
+func fullIv() interval           { return interval{math.Inf(-1), math.Inf(1)} }
+func pointIv(v float64) interval { return interval{v, v} }
+
+func (iv interval) join(o interval) interval {
+	return interval{math.Min(iv.lo, o.lo), math.Max(iv.hi, o.hi)}
+}
+
+func (iv interval) meet(o interval) interval {
+	return interval{math.Max(iv.lo, o.lo), math.Min(iv.hi, o.hi)}
+}
+
+func (iv interval) within(lo, hi float64) bool   { return iv.lo >= lo && iv.hi <= hi }
+func (iv interval) disjoint(lo, hi float64) bool { return iv.hi < lo || iv.lo > hi }
+
+func (iv interval) add(o interval) interval {
+	lo, hi := iv.lo+o.lo, iv.hi+o.hi
+	// +inf + -inf has no information; widen that endpoint.
+	if math.IsNaN(lo) {
+		lo = math.Inf(-1)
+	}
+	if math.IsNaN(hi) {
+		hi = math.Inf(1)
+	}
+	return interval{lo, hi}
+}
+
+func (iv interval) sub(o interval) interval { return iv.add(interval{-o.hi, -o.lo}) }
+func (iv interval) neg() interval           { return interval{-iv.hi, -iv.lo} }
+
+func (iv interval) mul(o interval) interval {
+	if math.IsInf(iv.lo, 0) || math.IsInf(iv.hi, 0) || math.IsInf(o.lo, 0) || math.IsInf(o.hi, 0) {
+		return fullIv()
+	}
+	p := [4]float64{iv.lo * o.lo, iv.lo * o.hi, iv.hi * o.lo, iv.hi * o.hi}
+	lo, hi := p[0], p[0]
+	for _, v := range p[1:] {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return interval{lo, hi}
+}
+
+func ivEnd(v float64) string {
+	if math.IsInf(v, -1) {
+		return "-inf"
+	}
+	if math.IsInf(v, 1) {
+		return "+inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func rangeStr(lo, hi float64) string { return "[" + ivEnd(lo) + ", " + ivEnd(hi) + "]" }
+
+// absVal is the abstract value of one expression: its domain, an interval
+// bound, and a boundary-origin bit. src marks values that entered through a
+// trust boundary — scenario/config struct fields or the flag package — and
+// gates valrange's "unproven" reports so internal arithmetic the analysis
+// cannot bound does not drown the signal.
+type absVal struct {
+	dom Domain
+	iv  interval
+	src bool
+}
+
+func (v absVal) join(o absVal) absVal {
+	return absVal{joinDom(v.dom, o.dom), v.iv.join(o.iv), v.src || o.src}
+}
+
+// typeDomain maps the module's defined index types onto domains.
+func (m *Module) typeDomain(t types.Type) Domain {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return DomNone
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != m.Path+"/internal/topo" {
+		return DomNone
+	}
+	switch obj.Name() {
+	case "LinkIdx":
+		return DomLinkIdx
+	case "NodeID":
+		return DomNodeID
+	}
+	return DomNone
+}
+
+// isNeighborIndexFn spots topo's NeighborIndex, whose plain-int result is
+// the neighbor-offset domain by contract rather than by type.
+func (m *Module) isNeighborIndexFn(fn *types.Func) bool {
+	return fn.Name() == "NeighborIndex" && fn.Pkg() != nil &&
+		fn.Pkg().Path() == m.Path+"/internal/topo"
+}
+
+func ivForType(t types.Type) interval {
+	if t == nil {
+		return fullIv()
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsUnsigned != 0 {
+		return interval{0, math.Inf(1)}
+	}
+	return fullIv()
+}
+
+func isIntegerType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isNumericType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+func isEpochName(name string) bool {
+	return strings.EqualFold(name, "epoch") || strings.EqualFold(name, "epochs")
+}
+
+func constIv(v constant.Value) interval {
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		f, _ := constant.Float64Val(constant.ToFloat(v))
+		return pointIv(f)
+	}
+	return fullIv()
+}
+
+func deparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// dfDiag is one cached dataflow diagnostic, replayed per package by the
+// idxdomain and valrange rules so pragma filtering happens per Run.
+type dfDiag struct {
+	rule string
+	pkg  *Package
+	pos  token.Pos
+	msg  string
+}
+
+// dfAnalysis walks one function body. env maps identity keys — %p of the
+// *types.Var for locals, dotted field paths rooted at one for selector
+// chains — to abstract values; lookups that miss fall back to type-derived
+// defaults, so an absent key is always the sound top for its type.
+type dfAnalysis struct {
+	m    *Module
+	pkg  *Package
+	sums map[*types.Func]absVal
+	// rep receives diagnostics; nil while computing summaries.
+	rep   func(rule string, pos token.Pos, msg string)
+	env   map[string]absVal
+	quiet int // >0 while re-evaluating for refinement: hooks muted
+	depth int // FuncLit nesting guard
+	ret   absVal
+	retOK bool
+}
+
+func (a *dfAnalysis) runDecl(fd *ast.FuncDecl) {
+	a.env = make(map[string]absVal)
+	a.execBlock(fd.Body.List)
+}
+
+func (a *dfAnalysis) report(rule string, pos token.Pos, format string, args ...any) {
+	if a.rep == nil || a.quiet > 0 {
+		return
+	}
+	a.rep(rule, pos, fmt.Sprintf(format, args...))
+}
+
+// ---------- environment ----------
+
+func (a *dfAnalysis) key(e ast.Expr) (string, bool) {
+	switch v := deparen(e).(type) {
+	case *ast.Ident:
+		obj := objectOf(a.pkg.Info, v)
+		if _, ok := obj.(*types.Var); ok && obj.Name() != "_" {
+			return fmt.Sprintf("v%p", obj), true
+		}
+	case *ast.SelectorExpr:
+		if sel := a.pkg.Info.Selections[v]; sel != nil {
+			if sel.Kind() != types.FieldVal {
+				return "", false
+			}
+			base, ok := a.key(v.X)
+			if !ok {
+				return "", false
+			}
+			return base + "." + v.Sel.Name, true
+		}
+		// Package-qualified variable.
+		if obj, ok := a.pkg.Info.Uses[v.Sel].(*types.Var); ok {
+			return fmt.Sprintf("v%p", obj), true
+		}
+	}
+	return "", false
+}
+
+func (a *dfAnalysis) typeOfExpr(e ast.Expr) types.Type {
+	if tv, ok := a.pkg.Info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := deparen(e).(*ast.Ident); ok {
+		if obj := objectOf(a.pkg.Info, id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+func (a *dfAnalysis) defaultVal(t types.Type, name string) absVal {
+	if t == nil {
+		return absVal{iv: fullIv()}
+	}
+	if _, ok := t.(*types.Tuple); ok {
+		return absVal{iv: fullIv()}
+	}
+	v := absVal{dom: a.m.typeDomain(t), iv: ivForType(t)}
+	if v.dom == DomNone && isEpochName(name) && isIntegerType(t) {
+		v.dom = DomEpoch
+	}
+	return v
+}
+
+// isBoundaryField reports whether sel reads a field of a *Config, *Options
+// or *Spec struct — the unvalidated entry points valrange polices.
+func (a *dfAnalysis) isBoundaryField(sel *ast.SelectorExpr) bool {
+	s := a.pkg.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return false
+	}
+	t := s.Recv()
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := n.Obj().Name()
+	return strings.HasSuffix(name, "Config") || strings.HasSuffix(name, "Options") ||
+		strings.HasSuffix(name, "Spec")
+}
+
+func cloneEnv(env map[string]absVal) map[string]absVal {
+	out := make(map[string]absVal, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+// joinEnv keeps only keys bound on both paths; a key missing from one side
+// reverts to its type default on lookup, which subsumes any join result.
+func joinEnv(x, y map[string]absVal) map[string]absVal {
+	out := make(map[string]absVal)
+	for k, xv := range x {
+		if yv, ok := y[k]; ok {
+			out[k] = xv.join(yv)
+		}
+	}
+	return out
+}
+
+func (a *dfAnalysis) assign(lhs ast.Expr, val absVal) {
+	lhs = deparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	if k, ok := a.key(lhs); ok {
+		a.dropChildren(k)
+		a.env[k] = val
+		return
+	}
+	// Unkeyable target (slice element, deref, map entry): evaluate the
+	// sub-expressions so their own conversions/mixes are still seen.
+	switch t := lhs.(type) {
+	case *ast.IndexExpr:
+		a.eval(t.X)
+		a.eval(t.Index)
+	case *ast.StarExpr:
+		a.eval(t.X)
+	case *ast.SelectorExpr:
+		a.eval(t.X)
+	}
+}
+
+// dropChildren invalidates field paths rooted at k when k is rebound.
+func (a *dfAnalysis) dropChildren(k string) {
+	pref := k + "."
+	for ek := range a.env {
+		if strings.HasPrefix(ek, pref) {
+			delete(a.env, ek)
+		}
+	}
+}
+
+func (a *dfAnalysis) assignDefault(lhs ast.Expr) {
+	name := ""
+	if id, ok := deparen(lhs).(*ast.Ident); ok {
+		name = id.Name
+	}
+	a.assign(lhs, a.defaultVal(a.typeOfExpr(lhs), name))
+}
+
+// ---------- expression evaluation ----------
+
+func (a *dfAnalysis) quietEval(e ast.Expr) absVal {
+	a.quiet++
+	v := a.eval(e)
+	a.quiet--
+	return v
+}
+
+func (a *dfAnalysis) eval(e ast.Expr) absVal {
+	if e == nil {
+		return absVal{iv: fullIv()}
+	}
+	info := a.pkg.Info
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return absVal{dom: a.m.typeDomain(tv.Type), iv: constIv(tv.Value)}
+	}
+	switch v := e.(type) {
+	case *ast.ParenExpr:
+		return a.eval(v.X)
+	case *ast.Ident:
+		if k, ok := a.key(v); ok {
+			if val, hit := a.env[k]; hit {
+				return val
+			}
+		}
+		return a.defaultVal(a.typeOfExpr(v), v.Name)
+	case *ast.SelectorExpr:
+		if k, ok := a.key(v); ok {
+			if val, hit := a.env[k]; hit {
+				return val
+			}
+		}
+		out := a.defaultVal(a.typeOfExpr(v), v.Sel.Name)
+		if a.isBoundaryField(v) {
+			out.src = true
+		}
+		return out
+	case *ast.StarExpr:
+		in := a.eval(v.X)
+		out := a.defaultVal(a.typeOfExpr(e), "")
+		out.src = out.src || in.src
+		return out
+	case *ast.UnaryExpr:
+		in := a.eval(v.X)
+		switch v.Op {
+		case token.SUB:
+			return absVal{dom: in.dom, iv: in.iv.neg(), src: in.src}
+		case token.ADD:
+			return in
+		default:
+			return absVal{iv: fullIv(), src: in.src}
+		}
+	case *ast.BinaryExpr:
+		if v.Op == token.LAND || v.Op == token.LOR {
+			x := a.eval(v.X)
+			saved := cloneEnv(a.env)
+			a.applyCond(v.X, v.Op == token.LAND)
+			y := a.eval(v.Y)
+			a.env = saved
+			return absVal{iv: fullIv(), src: x.src || y.src}
+		}
+		x := a.eval(v.X)
+		y := a.eval(v.Y)
+		return a.binop(v.OpPos, v.Op, x, y)
+	case *ast.CallExpr:
+		return a.evalCall(v)
+	case *ast.IndexExpr:
+		a.eval(v.X)
+		a.eval(v.Index)
+		return a.defaultVal(a.typeOfExpr(e), "")
+	case *ast.IndexListExpr:
+		a.eval(v.X)
+		for _, ix := range v.Indices {
+			a.eval(ix)
+		}
+		return a.defaultVal(a.typeOfExpr(e), "")
+	case *ast.SliceExpr:
+		a.eval(v.X)
+		a.eval(v.Low)
+		a.eval(v.High)
+		a.eval(v.Max)
+		return a.defaultVal(a.typeOfExpr(e), "")
+	case *ast.TypeAssertExpr:
+		a.eval(v.X)
+		return a.defaultVal(a.typeOfExpr(e), "")
+	case *ast.CompositeLit:
+		for _, el := range v.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				a.eval(kv.Value)
+			} else {
+				a.eval(el)
+			}
+		}
+		return a.defaultVal(a.typeOfExpr(e), "")
+	case *ast.FuncLit:
+		a.evalFuncLit(v)
+		return absVal{iv: fullIv()}
+	}
+	return absVal{iv: fullIv()}
+}
+
+func (a *dfAnalysis) binop(pos token.Pos, op token.Token, x, y absVal) absVal {
+	src := x.src || y.src
+	mixed := x.dom != DomNone && y.dom != DomNone && x.dom != y.dom &&
+		x.dom != DomMixed && y.dom != DomMixed
+	if mixed {
+		a.report("idxdomain", pos,
+			"expression mixes integer domains %s and %s; values must not cross domains without an explicit re-derivation", x.dom, y.dom)
+	}
+	crossed := func() Domain {
+		if mixed {
+			return DomMixed
+		}
+		return DomNone
+	}
+	switch op {
+	case token.ADD:
+		dom := joinDom(x.dom, y.dom)
+		if mixed {
+			dom = DomMixed
+		}
+		return absVal{dom: dom, iv: x.iv.add(y.iv), src: src}
+	case token.SUB:
+		// The difference of two same-domain values is an offset, not a
+		// member of the domain; shifting by an untracked delta stays in it.
+		dom := crossed()
+		if !mixed && x.dom != y.dom {
+			dom = joinDom(x.dom, y.dom)
+		}
+		return absVal{dom: dom, iv: x.iv.sub(y.iv), src: src}
+	case token.MUL:
+		return absVal{dom: crossed(), iv: x.iv.mul(y.iv), src: src}
+	case token.QUO, token.REM:
+		return absVal{dom: crossed(), iv: fullIv(), src: src}
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return absVal{iv: fullIv(), src: src}
+	default:
+		return absVal{dom: crossed(), iv: fullIv(), src: src}
+	}
+}
+
+func (a *dfAnalysis) staticCallee(call *ast.CallExpr) *types.Func {
+	switch f := deparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := objectOf(a.pkg.Info, f).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel := a.pkg.Info.Selections[f]; sel != nil {
+			if sel.Kind() == types.MethodVal {
+				fn, _ := sel.Obj().(*types.Func)
+				return fn
+			}
+			return nil
+		}
+		fn, _ := a.pkg.Info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func (a *dfAnalysis) evalCall(call *ast.CallExpr) absVal {
+	info := a.pkg.Info
+	// Explicit type conversion: the one legal way to move a value between
+	// integer domains — and therefore the place idxdomain inspects.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		in := a.eval(call.Args[0])
+		to := tv.Type
+		out := absVal{dom: a.m.typeDomain(to), iv: in.iv, src: in.src}
+		if out.dom != DomNone {
+			if in.dom != DomNone && in.dom != out.dom && in.dom != DomMixed {
+				a.report("idxdomain", call.Pos(),
+					"conversion crosses integer domains: %s -> %s; re-derive the value or waive with //dophy:allow idxdomain", in.dom, out.dom)
+			}
+		} else if isIntegerType(to) {
+			// Laundering an index through int keeps its domain taint.
+			out.dom = in.dom
+		}
+		if !isNumericType(to) {
+			return absVal{iv: fullIv(), src: in.src}
+		}
+		return out
+	}
+	if id, ok := deparen(call.Fun).(*ast.Ident); ok {
+		if b, isB := objectOf(info, id).(*types.Builtin); isB {
+			for _, arg := range call.Args {
+				a.eval(arg)
+			}
+			switch b.Name() {
+			case "len", "cap":
+				return absVal{iv: interval{0, math.Inf(1)}}
+			}
+			return a.defaultVal(a.typeOfExpr(call), "")
+		}
+	}
+	switch f := deparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		a.eval(f.X)
+	case *ast.FuncLit:
+		a.evalFuncLit(f)
+	}
+	args := make([]absVal, len(call.Args))
+	for i := range call.Args {
+		args[i] = a.eval(call.Args[i])
+	}
+	fn := a.staticCallee(call)
+	if fn != nil {
+		a.checkContracts(call, fn, args)
+	}
+	out := a.defaultVal(a.typeOfExpr(call), "")
+	if fn != nil {
+		if a.m.isNeighborIndexFn(fn) {
+			return absVal{dom: DomNbrOff, iv: interval{-1, math.Inf(1)}}
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "flag" {
+			out.src = true
+		}
+		if s, ok := a.sums[fn]; ok {
+			if s.dom != DomNone {
+				out.dom = s.dom
+			}
+			out.iv = s.iv
+		}
+	}
+	return out
+}
+
+func (a *dfAnalysis) evalFuncLit(fl *ast.FuncLit) {
+	if a.depth >= 4 || fl.Body == nil {
+		return
+	}
+	a.depth++
+	savedEnv := a.env
+	savedRet, savedOK := a.ret, a.retOK
+	a.env = cloneEnv(savedEnv)
+	a.execBlock(fl.Body.List)
+	a.env = savedEnv
+	a.ret, a.retOK = savedRet, savedOK
+	a.depth--
+}
+
+// ---------- statements ----------
+
+// execBlock runs stmts in order; true means every path through the block
+// diverts (return, panic, os.Exit, break/continue) before falling through.
+func (a *dfAnalysis) execBlock(stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		if a.execStmt(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *dfAnalysis) execStmt(s ast.Stmt) bool {
+	switch v := s.(type) {
+	case *ast.BlockStmt:
+		return a.execBlock(v.List)
+	case *ast.ExprStmt:
+		a.eval(v.X)
+		return a.isTerminalCall(v.X)
+	case *ast.AssignStmt:
+		a.execAssign(v)
+	case *ast.DeclStmt:
+		a.execDecl(v)
+	case *ast.IncDecStmt:
+		cur := a.quietEval(v.X)
+		if v.Tok == token.INC {
+			cur.iv = cur.iv.add(pointIv(1))
+		} else {
+			cur.iv = cur.iv.sub(pointIv(1))
+		}
+		a.assign(v.X, cur)
+	case *ast.ReturnStmt:
+		for i, r := range v.Results {
+			val := a.eval(r)
+			if i == 0 {
+				if a.retOK {
+					a.ret = a.ret.join(val)
+				} else {
+					a.ret, a.retOK = val, true
+				}
+			}
+		}
+		return true
+	case *ast.BranchStmt:
+		return v.Tok != token.FALLTHROUGH
+	case *ast.IfStmt:
+		return a.execIf(v)
+	case *ast.ForStmt:
+		a.execFor(v)
+	case *ast.RangeStmt:
+		a.execRange(v)
+	case *ast.SwitchStmt:
+		a.execSwitch(v)
+	case *ast.TypeSwitchStmt:
+		a.execTypeSwitch(v)
+	case *ast.SelectStmt:
+		a.execSelect(v)
+	case *ast.LabeledStmt:
+		return a.execStmt(v.Stmt)
+	case *ast.GoStmt:
+		a.eval(v.Call)
+	case *ast.DeferStmt:
+		a.eval(v.Call)
+	case *ast.SendStmt:
+		a.eval(v.Chan)
+		a.eval(v.Value)
+	}
+	return false
+}
+
+func assignOp(tok token.Token) (token.Token, bool) {
+	switch tok {
+	case token.ADD_ASSIGN:
+		return token.ADD, true
+	case token.SUB_ASSIGN:
+		return token.SUB, true
+	case token.MUL_ASSIGN:
+		return token.MUL, true
+	case token.QUO_ASSIGN:
+		return token.QUO, true
+	case token.REM_ASSIGN:
+		return token.REM, true
+	}
+	return tok, false
+}
+
+func (a *dfAnalysis) execAssign(v *ast.AssignStmt) {
+	if len(v.Lhs) == len(v.Rhs) {
+		vals := make([]absVal, len(v.Rhs))
+		for i := range v.Rhs {
+			vals[i] = a.eval(v.Rhs[i])
+		}
+		for i := range v.Lhs {
+			val := vals[i]
+			if op, isOp := assignOp(v.Tok); isOp {
+				cur := a.quietEval(v.Lhs[i])
+				val = a.binop(v.TokPos, op, cur, val)
+			} else if v.Tok != token.ASSIGN && v.Tok != token.DEFINE {
+				val = absVal{iv: fullIv(), src: val.src}
+			}
+			a.assign(v.Lhs[i], val)
+		}
+		return
+	}
+	// Tuple form: x, y := f() / v, ok := m[k] — fall back to type defaults.
+	for _, r := range v.Rhs {
+		a.eval(r)
+	}
+	for _, l := range v.Lhs {
+		a.assignDefault(l)
+	}
+}
+
+func (a *dfAnalysis) execDecl(v *ast.DeclStmt) {
+	gd, ok := v.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		switch {
+		case len(vs.Values) == len(vs.Names):
+			for i, name := range vs.Names {
+				a.assign(name, a.eval(vs.Values[i]))
+			}
+		case len(vs.Values) > 0:
+			for _, val := range vs.Values {
+				a.eval(val)
+			}
+			for _, name := range vs.Names {
+				a.assignDefault(name)
+			}
+		default:
+			// var x T — zero value.
+			for _, name := range vs.Names {
+				val := a.defaultVal(a.typeOfExpr(name), name.Name)
+				if isNumericType(a.typeOfExpr(name)) {
+					val.iv = pointIv(0)
+				}
+				a.assign(name, val)
+			}
+		}
+	}
+}
+
+func (a *dfAnalysis) execIf(v *ast.IfStmt) bool {
+	if v.Init != nil {
+		a.execStmt(v.Init)
+	}
+	a.eval(v.Cond)
+	saved := cloneEnv(a.env)
+	a.applyCond(v.Cond, true)
+	termThen := a.execBlock(v.Body.List)
+	thenEnv := a.env
+	a.env = cloneEnv(saved)
+	a.applyCond(v.Cond, false)
+	termElse := false
+	if v.Else != nil {
+		termElse = a.execStmt(v.Else)
+	}
+	elseEnv := a.env
+	switch {
+	case termThen && termElse:
+		a.env = saved
+		return true
+	case termThen:
+		// Only the else path continues — the early-return/panic refinement.
+		a.env = elseEnv
+	case termElse:
+		a.env = thenEnv
+	default:
+		a.env = joinEnv(thenEnv, elseEnv)
+	}
+	return false
+}
+
+func (a *dfAnalysis) execFor(v *ast.ForStmt) {
+	if v.Init != nil {
+		a.execStmt(v.Init)
+	}
+	a.havocBody(v.Body, v.Post)
+	if v.Cond != nil {
+		a.eval(v.Cond)
+		a.applyCond(v.Cond, true)
+	}
+	a.execBlock(v.Body.List)
+	if v.Post != nil {
+		a.execStmt(v.Post)
+	}
+	a.havocBody(v.Body, v.Post)
+	if v.Cond != nil {
+		a.applyCond(v.Cond, false)
+	}
+}
+
+func (a *dfAnalysis) execRange(v *ast.RangeStmt) {
+	a.eval(v.X)
+	a.havocBody(v.Body, nil)
+	if v.Key != nil {
+		val := a.defaultVal(a.typeOfExpr(v.Key), "")
+		if t := a.typeOfExpr(v.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); !isMap && isIntegerType(a.typeOfExpr(v.Key)) {
+				val.iv = interval{0, math.Inf(1)}
+			}
+		}
+		a.assign(v.Key, val)
+	}
+	if v.Value != nil {
+		a.assignDefault(v.Value)
+	}
+	a.execBlock(v.Body.List)
+	a.havocBody(v.Body, nil)
+}
+
+func (a *dfAnalysis) execSwitch(v *ast.SwitchStmt) {
+	if v.Init != nil {
+		a.execStmt(v.Init)
+	}
+	if v.Tag != nil {
+		a.eval(v.Tag)
+	}
+	saved := cloneEnv(a.env)
+	var outs []map[string]absVal
+	hasDefault := false
+	for _, c := range v.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		a.env = cloneEnv(saved)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, ce := range cc.List {
+			a.eval(ce)
+		}
+		if len(cc.List) == 1 {
+			if v.Tag != nil {
+				a.refineCmp(v.Tag, token.EQL, cc.List[0])
+			} else {
+				a.applyCond(cc.List[0], true)
+			}
+		}
+		if !a.execBlock(cc.Body) {
+			outs = append(outs, a.env)
+		}
+	}
+	a.env = cloneEnv(saved)
+	if len(outs) > 0 {
+		acc := outs[0]
+		for _, o := range outs[1:] {
+			acc = joinEnv(acc, o)
+		}
+		if hasDefault {
+			a.env = acc
+		} else {
+			a.env = joinEnv(acc, saved)
+		}
+	}
+}
+
+func (a *dfAnalysis) execTypeSwitch(v *ast.TypeSwitchStmt) {
+	if v.Init != nil {
+		a.execStmt(v.Init)
+	}
+	a.execStmt(v.Assign)
+	saved := cloneEnv(a.env)
+	acc := cloneEnv(saved)
+	for _, c := range v.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		a.env = cloneEnv(saved)
+		if !a.execBlock(cc.Body) {
+			acc = joinEnv(acc, a.env)
+		}
+	}
+	a.env = acc
+}
+
+func (a *dfAnalysis) execSelect(v *ast.SelectStmt) {
+	saved := cloneEnv(a.env)
+	acc := cloneEnv(saved)
+	for _, c := range v.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		a.env = cloneEnv(saved)
+		if cc.Comm != nil {
+			a.execStmt(cc.Comm)
+		}
+		if !a.execBlock(cc.Body) {
+			acc = joinEnv(acc, a.env)
+		}
+	}
+	a.env = acc
+}
+
+// havocBody widens every variable the loop body (or post statement) can
+// write back to its type default, so the single symbolic pass over the body
+// sees a state that covers every iteration.
+func (a *dfAnalysis) havocBody(body *ast.BlockStmt, post ast.Stmt) {
+	widen := func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for _, l := range s.Lhs {
+					a.havocExpr(l)
+				}
+			case *ast.IncDecStmt:
+				a.havocExpr(s.X)
+			case *ast.RangeStmt:
+				if s.Key != nil {
+					a.havocExpr(s.Key)
+				}
+				if s.Value != nil {
+					a.havocExpr(s.Value)
+				}
+			case *ast.UnaryExpr:
+				if s.Op == token.AND {
+					a.havocExpr(s.X)
+				}
+			}
+			return true
+		})
+	}
+	if body != nil {
+		widen(body)
+	}
+	if post != nil {
+		widen(post)
+	}
+}
+
+func (a *dfAnalysis) havocExpr(e ast.Expr) {
+	k, ok := a.key(e)
+	if !ok {
+		return
+	}
+	a.dropChildren(k)
+	name := ""
+	if id, isID := deparen(e).(*ast.Ident); isID {
+		name = id.Name
+	}
+	if t := a.typeOfExpr(e); t != nil {
+		a.env[k] = a.defaultVal(t, name)
+	} else {
+		delete(a.env, k)
+	}
+}
+
+// ---------- branch refinement ----------
+
+func negCmp(op token.Token) token.Token {
+	switch op {
+	case token.EQL:
+		return token.NEQ
+	case token.NEQ:
+		return token.EQL
+	case token.LSS:
+		return token.GEQ
+	case token.LEQ:
+		return token.GTR
+	case token.GTR:
+		return token.LEQ
+	case token.GEQ:
+		return token.LSS
+	}
+	return op
+}
+
+func flipCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GTR
+	case token.LEQ:
+		return token.GEQ
+	case token.GTR:
+		return token.LSS
+	case token.GEQ:
+		return token.LEQ
+	}
+	return op
+}
+
+func (a *dfAnalysis) applyCond(cond ast.Expr, truth bool) {
+	switch v := deparen(cond).(type) {
+	case *ast.UnaryExpr:
+		if v.Op == token.NOT {
+			a.applyCond(v.X, !truth)
+		}
+	case *ast.BinaryExpr:
+		switch v.Op {
+		case token.LAND:
+			if truth {
+				a.applyCond(v.X, true)
+				a.applyCond(v.Y, true)
+			}
+		case token.LOR:
+			if !truth {
+				a.applyCond(v.X, false)
+				a.applyCond(v.Y, false)
+			}
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+			op := v.Op
+			if !truth {
+				op = negCmp(op)
+			}
+			a.refineCmp(v.X, op, v.Y)
+		}
+	}
+}
+
+func (a *dfAnalysis) refineCmp(x ast.Expr, op token.Token, y ast.Expr) {
+	a.refineSide(x, op, y)
+	a.refineSide(y, flipCmp(op), x)
+}
+
+// refineSide narrows x's interval using `x op other`. Strict comparisons
+// are treated as their inclusive counterparts — sound for the at-most /
+// at-least facts the contracts need.
+func (a *dfAnalysis) refineSide(x ast.Expr, op token.Token, other ast.Expr) {
+	k, ok := a.key(x)
+	if !ok {
+		return
+	}
+	o := a.quietEval(other)
+	cur, hit := a.env[k]
+	if !hit {
+		cur = a.quietEval(x)
+	}
+	switch op {
+	case token.LSS, token.LEQ:
+		cur.iv.hi = math.Min(cur.iv.hi, o.iv.hi)
+	case token.GTR, token.GEQ:
+		cur.iv.lo = math.Max(cur.iv.lo, o.iv.lo)
+	case token.EQL:
+		cur.iv = cur.iv.meet(o.iv)
+		cur.dom = joinDom(cur.dom, o.dom)
+	default:
+		return
+	}
+	a.env[k] = cur
+}
+
+func (a *dfAnalysis) isTerminalCall(e ast.Expr) bool {
+	call, ok := deparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch f := deparen(call.Fun).(type) {
+	case *ast.Ident:
+		b, isB := objectOf(a.pkg.Info, f).(*types.Builtin)
+		return isB && b.Name() == "panic"
+	case *ast.SelectorExpr:
+		fn, _ := a.pkg.Info.Uses[f.Sel].(*types.Func)
+		if fn == nil || fn.Pkg() == nil {
+			return false
+		}
+		switch fn.Pkg().Path() {
+		case "os":
+			return fn.Name() == "Exit"
+		case "log":
+			return strings.HasPrefix(fn.Name(), "Fatal") || strings.HasPrefix(fn.Name(), "Panic")
+		case "runtime":
+			return fn.Name() == "Goexit"
+		}
+	}
+	return false
+}
+
+// ---------- module-level driver & summaries ----------
+
+// dfSummaries computes a return-value summary (domain + interval of the
+// first result) for every module function with a basic numeric first
+// result. Two rounds over the call graph's deterministic order let
+// summaries flow through one level of indirection each round.
+func (m *Module) dfSummaries() map[*types.Func]absVal {
+	if m.dfSums != nil {
+		return m.dfSums
+	}
+	sums := map[*types.Func]absVal{}
+	cg := m.CallGraph()
+	for round := 0; round < 2; round++ {
+		for _, n := range cg.Funcs() {
+			if n.Decl == nil || n.Decl.Body == nil {
+				continue
+			}
+			sig, ok := n.Fn.Type().(*types.Signature)
+			if !ok || sig.Results().Len() == 0 {
+				continue
+			}
+			if !isNumericType(sig.Results().At(0).Type()) {
+				continue
+			}
+			a := &dfAnalysis{m: m, pkg: n.Pkg, sums: sums}
+			a.runDecl(n.Decl)
+			if a.retOK {
+				// Summaries never carry the boundary bit: what a function
+				// returns is its own computation, not a raw config read.
+				a.ret.src = false
+				sums[n.Fn] = a.ret
+			}
+		}
+	}
+	m.dfSums = sums
+	return sums
+}
+
+// dataflowDiags runs the analysis once over the whole module and caches the
+// idxdomain/valrange diagnostics; the rules replay them per package so the
+// per-Run pragma filter applies as usual.
+func (m *Module) dataflowDiags() []dfDiag {
+	if m.dfDone {
+		return m.dfDiags
+	}
+	sums := m.dfSummaries()
+	seen := map[dfDiag]bool{}
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				a := &dfAnalysis{m: m, pkg: pkg, sums: sums}
+				p := pkg
+				a.rep = func(rule string, pos token.Pos, msg string) {
+					d := dfDiag{rule: rule, pkg: p, pos: pos, msg: msg}
+					if !seen[d] {
+						seen[d] = true
+						m.dfDiags = append(m.dfDiags, d)
+					}
+				}
+				a.runDecl(fd)
+			}
+		}
+	}
+	m.dfDone = true
+	return m.dfDiags
+}

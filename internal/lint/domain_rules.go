@@ -1,0 +1,290 @@
+// domain_rules.go holds the three dataflow-powered domain-safety rules:
+//
+//   - idxdomain: link-table indices, node ids, neighbor offsets and epoch
+//     counters are distinct integer domains; values must not cross between
+//     them (by conversion or arithmetic) without a pragma-visible waiver.
+//   - valrange: probability- and count-valued arguments to the registered
+//     contract functions must be provably inside their documented range
+//     when they originate at a trust boundary (config/spec fields, flags),
+//     and must never be provably outside it.
+//   - exhaustive: a switch over a module-declared enum (a defined integer
+//     or string type with >= 2 package-level constants) must name every
+//     member, or carry a //dophy:allow exhaustive waiver on its default.
+//
+// idxdomain and valrange replay the cached whole-module analysis from
+// dataflow.go; exhaustive is a self-contained syntactic pass.
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ---------- valrange contracts ----------
+
+// valContract documents the legal range of one numeric parameter. Callees
+// are named by module-relative package path and "Func" or "Recv.Method",
+// so the registry applies equally to the real module and the test fixture
+// module (which mirrors the package layout).
+type valContract struct {
+	relPath string
+	fn      string
+	arg     int
+	lo, hi  float64
+	what    string
+}
+
+var valContracts = []valContract{
+	{"internal/radio", "NewStaticUniformLoss", 1, 0, 1, "uniform loss probability"},
+	{"internal/rng", "Source.Bool", 0, 0, 1, "event probability"},
+	{"internal/rng", "Source.Geometric", 0, 0, 1, "success probability"},
+	{"internal/tomo/geomle", "Obs.AddAttempt", 0, 1, math.Inf(1), "1-based attempt number"},
+	{"internal/tomo/geomle", "Obs.Decay", 0, 0, 1, "decay factor"},
+	{"internal/tomo/geomle", "LossFromDrop", 0, 0, 1, "per-hop drop probability"},
+	{"internal/coding/model", "Aggregator.Map", 0, 0, math.Inf(1), "retransmission count"},
+}
+
+// contractName renders fn in the registry's "Func" / "Recv.Method" form,
+// or "" when fn is not a module function.
+func (m *Module) contractName(fn *types.Func) (relPath, name string) {
+	p := fn.Pkg()
+	if p == nil {
+		return "", ""
+	}
+	switch {
+	case p.Path() == m.Path:
+		relPath = ""
+	case strings.HasPrefix(p.Path(), m.Path+"/"):
+		relPath = strings.TrimPrefix(p.Path(), m.Path+"/")
+	default:
+		return "", ""
+	}
+	name = fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		if n, isNamed := t.(*types.Named); isNamed {
+			name = n.Obj().Name() + "." + name
+		}
+	}
+	return relPath, name
+}
+
+// checkContracts is the valrange hook: called from evalCall with the
+// abstract argument values of every statically resolved call.
+func (a *dfAnalysis) checkContracts(call *ast.CallExpr, fn *types.Func, args []absVal) {
+	if a.rep == nil || a.quiet > 0 {
+		return
+	}
+	relPath, name := a.m.contractName(fn)
+	if name == "" {
+		return
+	}
+	for _, c := range valContracts {
+		if c.relPath != relPath || c.fn != name || c.arg >= len(args) {
+			continue
+		}
+		v := args[c.arg]
+		bounds := rangeStr(c.lo, c.hi)
+		switch {
+		case v.iv.disjoint(c.lo, c.hi):
+			a.report("valrange", call.Args[c.arg].Pos(),
+				"%s passed to %s is provably outside %s (value in %s)",
+				c.what, name, bounds, rangeStr(v.iv.lo, v.iv.hi))
+		case v.src && !v.iv.within(c.lo, c.hi):
+			a.report("valrange", call.Args[c.arg].Pos(),
+				"%s passed to %s is a boundary input (config/flag) not validated against %s; add a range check or clamp on the path here",
+				c.what, name, bounds)
+		}
+	}
+}
+
+// ---------- rule: idxdomain ----------
+
+type ruleIdxDomain struct{}
+
+func (ruleIdxDomain) Name() string { return "idxdomain" }
+
+func (ruleIdxDomain) Check(m *Module, pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	for _, d := range m.dataflowDiags() {
+		if d.rule == "idxdomain" && d.pkg == pkg {
+			report(d.pos, "%s", d.msg)
+		}
+	}
+}
+
+// ---------- rule: valrange ----------
+
+type ruleValRange struct{}
+
+func (ruleValRange) Name() string { return "valrange" }
+
+func (ruleValRange) Check(m *Module, pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	for _, d := range m.dataflowDiags() {
+		if d.rule == "valrange" && d.pkg == pkg {
+			report(d.pos, "%s", d.msg)
+		}
+	}
+}
+
+// ---------- rule: exhaustive ----------
+
+type ruleExhaustive struct{}
+
+func (ruleExhaustive) Name() string { return "exhaustive" }
+
+// enumMember is one distinct constant value of an enum-style type; name is
+// the lexically first constant carrying that value (iota aliases collapse).
+type enumMember struct {
+	isInt bool
+	ival  int64
+	sval  string
+	name  string
+}
+
+// memberFor classifies one constant value; ok is false for kinds the rule
+// does not model (floats, bools, complex).
+func memberFor(name string, v constant.Value) (enumMember, bool) {
+	switch v.Kind() {
+	case constant.Int:
+		if iv, exact := constant.Int64Val(v); exact {
+			return enumMember{isInt: true, ival: iv, name: name}, true
+		}
+	case constant.String:
+		return enumMember{sval: constant.StringVal(v), name: name}, true
+	}
+	return enumMember{}, false
+}
+
+func (e enumMember) key() string {
+	if e.isInt {
+		return "i" + strconv.FormatInt(e.ival, 10)
+	}
+	return "s" + e.sval
+}
+
+// enumMembers returns the member set of t when t is an enum-style type
+// declared in this module: a defined integer or string type with at least
+// two package-level constants. The display name and members are cached.
+func (m *Module) enumMembers(t types.Type) (string, []enumMember) {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return "", nil
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return "", nil
+	}
+	if p := obj.Pkg().Path(); p != m.Path && !strings.HasPrefix(p, m.Path+"/") {
+		return "", nil
+	}
+	b, ok := n.Underlying().(*types.Basic)
+	if !ok || b.Info()&(types.IsInteger|types.IsString) == 0 {
+		return "", nil
+	}
+	if m.enums == nil {
+		m.enums = map[*types.Named][]enumMember{}
+	}
+	display := obj.Pkg().Name() + "." + obj.Name()
+	if mm, cached := m.enums[n]; cached {
+		return display, mm
+	}
+	scope := obj.Pkg().Scope()
+	seen := map[string]bool{}
+	var members []enumMember
+	for _, name := range scope.Names() { // sorted: deterministic alias pick
+		c, isConst := scope.Lookup(name).(*types.Const)
+		if !isConst || !types.Identical(c.Type(), n) {
+			continue
+		}
+		em, ok := memberFor(name, c.Val())
+		if !ok {
+			continue
+		}
+		if seen[em.key()] {
+			continue
+		}
+		seen[em.key()] = true
+		members = append(members, em)
+	}
+	if len(members) < 2 {
+		members = nil
+	}
+	sort.Slice(members, func(i, j int) bool {
+		a, b := members[i], members[j]
+		if a.isInt != b.isInt {
+			return a.isInt
+		}
+		if a.isInt {
+			return a.ival < b.ival
+		}
+		return a.sval < b.sval
+	})
+	m.enums[n] = members
+	return display, members
+}
+
+func (ruleExhaustive) Check(m *Module, pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file.AST, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := pkg.Info.Types[sw.Tag]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			display, members := m.enumMembers(tv.Type)
+			if len(members) == 0 {
+				return true
+			}
+			covered := map[string]bool{}
+			var defaultClause *ast.CaseClause
+			for _, c := range sw.Body.List {
+				cc, isCase := c.(*ast.CaseClause)
+				if !isCase {
+					continue
+				}
+				if cc.List == nil {
+					defaultClause = cc
+					continue
+				}
+				for _, ce := range cc.List {
+					cv, hasTV := pkg.Info.Types[ce]
+					if !hasTV || cv.Value == nil {
+						// A dynamic case can cover anything: stay silent.
+						return true
+					}
+					if em, okM := memberFor("", cv.Value); okM {
+						covered[em.key()] = true
+					}
+				}
+			}
+			var missing []string
+			for _, em := range members {
+				if !covered[em.key()] {
+					missing = append(missing, em.name)
+				}
+			}
+			if len(missing) == 0 {
+				return true
+			}
+			pos := sw.Pos()
+			if defaultClause != nil {
+				pos = defaultClause.Pos()
+			}
+			report(pos, "switch over %s misses %s; name every member or waive the default with //dophy:allow exhaustive",
+				display, strings.Join(missing, ", "))
+			return true
+		})
+	}
+}

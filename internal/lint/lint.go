@@ -33,7 +33,7 @@ type Rule interface {
 func AllRules() []Rule {
 	return []Rule{
 		ruleRand{}, ruleWallTime{}, ruleMapRange{}, ruleGoStmt{}, rulePoolEscape{}, ruleDenseBound{},
-		ruleHotPathAlloc{}, ruleDetermFlow{},
+		ruleHotPathAlloc{}, ruleDetermFlow{}, ruleIdxDomain{}, ruleValRange{}, ruleExhaustive{},
 	}
 }
 

@@ -77,6 +77,15 @@ type Module struct {
 	pidx       *pragmaIndex
 	taintFor   *pragmaIndex
 	taintDiags []hotDiag
+	// dfSums/dfDiags/dfDone cache the abstract-interpretation layer shared
+	// by the idxdomain and valrange rules (dataflow.go): function return
+	// summaries and the whole-module diagnostic set, both pragma-independent.
+	dfSums  map[*types.Func]absVal
+	dfDiags []dfDiag
+	dfDone  bool
+	// enums caches the per-named-type member sets the exhaustive rule
+	// derives from package scopes (domain_rules.go).
+	enums map[*types.Named][]enumMember
 }
 
 // LoadConfig parameterises module loading.

@@ -190,6 +190,9 @@ func (m *Module) determDiags() []hotDiag {
 					diags = append(diags, hotDiag{pkg: n.Pkg, pos: e.Pos,
 						format: "indirect call has no statically known callee; determflow must assume it is nondeterministic"})
 				}
+			case EdgeDirect, EdgeInterface, EdgeFuncValue:
+				// Resolved in-module edges seed nothing here; pass 2
+				// propagates taint across them once sources are known.
 			}
 		}
 		// Goroutine spawns reorder observable events; the sweep engine's
@@ -212,7 +215,7 @@ func (m *Module) determDiags() []hotDiag {
 		for _, ref := range g.callers {
 			switch ref.edge.Kind {
 			case EdgeDirect, EdgeInterface, EdgeFuncValue:
-			default:
+			case EdgeUnresolved, EdgeExternal:
 				continue
 			}
 			if taint[ref.node] != nil || allowed(ref.edge.Pos) {
@@ -238,7 +241,7 @@ func (m *Module) determDiags() []hotDiag {
 			e := &f.Calls[i]
 			switch e.Kind {
 			case EdgeDirect, EdgeInterface, EdgeFuncValue:
-			default:
+			case EdgeUnresolved, EdgeExternal:
 				continue
 			}
 			g := e.Callee
@@ -275,7 +278,7 @@ func (m *Module) determDiags() []hotDiag {
 			// sets are signature-matched and would over-approximate here.
 			switch ref.edge.Kind {
 			case EdgeDirect, EdgeInterface:
-			default:
+			case EdgeFuncValue, EdgeUnresolved, EdgeExternal:
 				continue
 			}
 			if !ordered[ref.node] {
@@ -309,7 +312,7 @@ func (m *Module) determDiags() []hotDiag {
 				}
 				switch e.Kind {
 				case EdgeDirect, EdgeInterface:
-				default:
+				case EdgeFuncValue, EdgeUnresolved, EdgeExternal:
 					continue
 				}
 				if e.Callee == nil || !ordered[e.Callee] || seenPos[e.Pos] {

@@ -1,0 +1,84 @@
+// Package enums exercises the exhaustive rule: switches over module enums
+// must name every member or carry a waived default.
+package enums
+
+// Mode is an integer enum with three members.
+type Mode int
+
+const (
+	ModeOff Mode = iota
+	ModeOn
+	ModeAuto
+)
+
+// Level is a string enum with two members.
+type Level string
+
+const (
+	LevelLow  Level = "low"
+	LevelHigh Level = "high"
+)
+
+// Partial misses a member and has no default.
+func Partial(m Mode) string {
+	switch m { // want "misses ModeAuto"
+	case ModeOff:
+		return "off"
+	case ModeOn:
+		return "on"
+	}
+	return "?"
+}
+
+// SilentDefault hides missing members behind an unjustified default.
+func SilentDefault(m Mode) string {
+	switch m {
+	case ModeOff:
+		return "off"
+	default: // want "misses ModeOn, ModeAuto"
+		return "?"
+	}
+}
+
+// Full names every member (grouping is fine).
+func Full(m Mode) string {
+	switch m {
+	case ModeOff, ModeOn:
+		return "binary"
+	case ModeAuto:
+		return "auto"
+	}
+	return "?"
+}
+
+// FullWithDefault names every member and keeps a defensive default.
+func FullWithDefault(l Level) string {
+	switch l {
+	case LevelLow:
+		return "low"
+	case LevelHigh:
+		return "high"
+	default:
+		return "corrupt"
+	}
+}
+
+// WaivedDefault justifies its catch-all.
+func WaivedDefault(l Level) string {
+	switch l {
+	case LevelLow:
+		return "low"
+	//dophy:allow exhaustive -- every non-low level renders as high here
+	default:
+		return "high"
+	}
+}
+
+// Dynamic has a non-constant case, which can cover anything: exempt.
+func Dynamic(m, other Mode) string {
+	switch m {
+	case other:
+		return "same"
+	}
+	return "diff"
+}

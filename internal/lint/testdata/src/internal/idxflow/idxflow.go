@@ -1,0 +1,55 @@
+// Package idxflow exercises the idxdomain rule: link-table indices, node
+// ids, neighbor offsets and epoch counters are distinct integer domains
+// that must not cross without a waiver.
+package idxflow
+
+import "fixture/internal/topo"
+
+// CrossConvert re-types a node id as a link index: the classic off-by-a-
+// domain bug a plain int32 would never catch.
+func CrossConvert(lt *topo.LinkTable, id topo.NodeID) topo.Link {
+	return lt.Link(topo.LinkIdx(id)) // want "crosses integer domains: node-id -> link-index"
+}
+
+// MixedArithmetic launders both sides through int, which keeps the taint,
+// then adds them: still a cross-domain combination.
+func MixedArithmetic(li topo.LinkIdx, id topo.NodeID) int {
+	return int(li) + int(id) // want "mixes integer domains link-index and node-id"
+}
+
+// OffsetAsIndex promotes a neighbor offset (NeighborIndex's int result) to
+// a table index without re-deriving it.
+func OffsetAsIndex(lt *topo.LinkTable, l topo.Link) topo.LinkIdx {
+	off := lt.NeighborIndex(l)
+	return topo.LinkIdx(off) // want "crosses integer domains: neighbor-offset -> link-index"
+}
+
+// EpochAsNode treats an epoch counter as a node id.
+func EpochAsNode(epoch int) topo.NodeID {
+	return topo.NodeID(epoch) // want "crosses integer domains: epoch -> node-id"
+}
+
+// TypedLoop is the idiomatic clean pattern: indices born in their own
+// domain, compared and advanced only against that domain.
+func TypedLoop(lt *topo.LinkTable) int {
+	total := 0
+	for i := topo.LinkIdx(0); i < lt.Count(); i++ {
+		total += lt.Link(i).From
+	}
+	return total
+}
+
+// Rederived goes back through the domain's own constructor: offset-derived
+// data is used to look up a Link, and the index comes from Index.
+func Rederived(lt *topo.LinkTable, l topo.Link) topo.LinkIdx {
+	if lt.NeighborIndex(l) < 0 {
+		return topo.NoLink
+	}
+	return lt.Index(l)
+}
+
+// Waived documents a deliberate identity mapping.
+func Waived(id topo.NodeID) topo.LinkIdx {
+	//dophy:allow idxdomain -- synthetic identity topology: node i owns link i
+	return topo.LinkIdx(id)
+}

@@ -1,0 +1,9 @@
+// Package radio is a stand-in for the real radio models; the uniform-loss
+// constructor carries a valrange contract on its loss argument.
+package radio
+
+// NewStaticUniformLoss builds a model where every link drops with
+// probability loss; loss must lie in [0, 1].
+func NewStaticUniformLoss(nodes int, loss float64) float64 {
+	return loss * float64(nodes)
+}

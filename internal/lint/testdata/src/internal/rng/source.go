@@ -1,0 +1,20 @@
+package rng
+
+// Source mirrors the real module's deterministic generator surface that the
+// valrange contracts name.
+type Source struct{ s uint64 }
+
+// Bool returns true with probability p; p must lie in [0, 1].
+func (r *Source) Bool(p float64) bool {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return float64(r.s>>11) < p*(1<<53)
+}
+
+// Geometric samples a geometric distribution; p must lie in [0, 1].
+func (r *Source) Geometric(p float64) int {
+	n := 1
+	for !r.Bool(p) && n < 1<<20 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,25 @@
+// Package geomle is a stand-in for the real per-attempt estimator whose
+// accumulator methods carry valrange contracts.
+package geomle
+
+// Obs accumulates per-attempt delivery counts.
+type Obs struct{ Exact []float64 }
+
+// AddAttempt records a delivery on 1-based attempt t.
+func (o *Obs) AddAttempt(t int) { o.Exact[t-1]++ }
+
+// Decay ages the accumulator; factor must lie in [0, 1].
+func (o *Obs) Decay(factor float64) {
+	for i := range o.Exact {
+		o.Exact[i] *= factor
+	}
+}
+
+// LossFromDrop converts a per-hop drop probability in [0, 1] into a
+// per-attempt loss estimate.
+func LossFromDrop(drop float64, m int) float64 {
+	if m < 1 {
+		return drop
+	}
+	return drop / float64(m)
+}

@@ -1,0 +1,54 @@
+// Package vrange exercises the valrange rule: contract arguments must be
+// provably in range when they come from a trust boundary, and never
+// provably out of range.
+package vrange
+
+import (
+	"fixture/internal/radio"
+	"fixture/internal/rng"
+	"fixture/internal/tomo/geomle"
+)
+
+// Config mirrors a scenario boundary: its fields arrive unvalidated.
+type Config struct {
+	Loss  float64
+	Decay float64
+}
+
+// Definite passes constants the analysis can prove wrong outright.
+func Definite(r *rng.Source) float64 {
+	r.Bool(1.5)                          // want "provably outside"
+	return geomle.LossFromDrop(-0.25, 8) // want "provably outside"
+}
+
+// Unvalidated forwards boundary inputs straight into contracts.
+func Unvalidated(cfg Config, r *rng.Source) float64 {
+	r.Bool(cfg.Loss)                               // want "not validated against"
+	return radio.NewStaticUniformLoss(4, cfg.Loss) // want "not validated against"
+}
+
+// Validated shows the three clean patterns: a guard that panics out of
+// range, a clamp, and an in-range constant.
+func Validated(cfg Config, r *rng.Source, o *geomle.Obs) {
+	if cfg.Loss < 0 || cfg.Loss > 1 {
+		panic("loss out of range")
+	}
+	r.Bool(cfg.Loss)
+
+	p := cfg.Decay
+	if p > 1 {
+		p = 1
+	}
+	if p < 0 {
+		p = 0
+	}
+	o.Decay(p)
+
+	o.AddAttempt(1)
+}
+
+// Waived documents bounds the analysis cannot see locally.
+func Waived(cfg Config, o *geomle.Obs) {
+	//dophy:allow valrange -- the fixture constructor clamps Decay at build time
+	o.Decay(cfg.Decay)
+}

@@ -135,6 +135,9 @@ func New(cfg Config, eng *sim.Engine, tp *topo.Topology, model radio.Model, r *r
 	if cfg.Window < 1 {
 		panic("routing: window must be >= 1")
 	}
+	if cfg.RandomizeParentProb < 0 || cfg.RandomizeParentProb > 1 {
+		panic("routing: RandomizeParentProb must be in [0,1]")
+	}
 	if cfg.AdaptiveBeacon {
 		if cfg.BeaconMin <= 0 || cfg.BeaconMax < cfg.BeaconMin {
 			panic("routing: adaptive beacon needs 0 < BeaconMin <= BeaconMax")
@@ -221,6 +224,7 @@ func (p *Protocol) beacon(id topo.NodeID) {
 	ns := p.nodes[id]
 	p.beaconOnce(id)
 	// Forced churn knob: occasionally re-pick among admissible parents.
+	//dophy:allow valrange -- New panics unless RandomizeParentProb is in [0,1]
 	if p.cfg.RandomizeParentProb > 0 && id != topo.Sink && p.r.Bool(p.cfg.RandomizeParentProb) {
 		p.randomizeParent(id)
 	}

@@ -52,7 +52,7 @@ func (e *Epoch) PathToSink(origin topo.NodeID) (links []topo.Link, ok bool) {
 // false — with buf restored to its original length — when the walk hits a
 // node without a parent, loops, or crosses a pair that is not a topology
 // link.
-func (e *Epoch) AppendPathIndices(lt *topo.LinkTable, origin topo.NodeID, buf []int32) (_ []int32, ok bool) {
+func (e *Epoch) AppendPathIndices(lt *topo.LinkTable, origin topo.NodeID, buf []topo.LinkIdx) (_ []topo.LinkIdx, ok bool) {
 	start := len(buf)
 	cur := origin
 	for cur != topo.Sink {
@@ -64,10 +64,10 @@ func (e *Epoch) AppendPathIndices(lt *topo.LinkTable, origin topo.NodeID, buf []
 			return buf[:start], false
 		}
 		i := lt.Index(topo.Link{From: cur, To: p})
-		if i < 0 {
+		if i == topo.NoLink {
 			return buf[:start], false
 		}
-		buf = append(buf, int32(i))
+		buf = append(buf, i)
 		cur = p
 	}
 	return buf, true

@@ -113,14 +113,14 @@ func TestPathToSinkLoop(t *testing.T) {
 func TestAppendPathIndices(t *testing.T) {
 	lt := chainTable(4)
 	e := &Epoch{Tree: []topo.NodeID{-1, 0, 1, 2}}
-	buf := []int32{99} // pre-existing content must survive
+	buf := []topo.LinkIdx{99} // pre-existing content must survive
 	buf, ok := e.AppendPathIndices(lt, 3, buf)
 	if !ok || len(buf) != 4 {
 		t.Fatalf("indices = %v ok=%v", buf, ok)
 	}
 	want := []topo.Link{{From: 3, To: 2}, {From: 2, To: 1}, {From: 1, To: 0}}
 	for i, l := range want {
-		if got := lt.Link(int(buf[i+1])); got != l {
+		if got := lt.Link(buf[i+1]); got != l {
 			t.Fatalf("index %d resolves to %v, want %v", buf[i+1], got, l)
 		}
 	}

@@ -1,5 +1,7 @@
 package geomle
 
+import "dophy/internal/topo"
+
 // Arena is a dense pool of Obs accumulators indexed by an external link
 // table (see topo.LinkTable). All Exact histograms share one flat backing
 // array, so a whole epoch of per-link state is two allocations for the
@@ -27,8 +29,9 @@ func NewArena(n, bins int) *Arena {
 // Len returns the number of accumulators.
 func (a *Arena) Len() int { return len(a.obs) }
 
-// At returns the i-th accumulator. The pointer stays valid across Reset.
-func (a *Arena) At(i int) *Obs { return &a.obs[i] }
+// At returns the accumulator at link-table index i. The pointer stays valid
+// across Reset.
+func (a *Arena) At(i topo.LinkIdx) *Obs { return &a.obs[i] }
 
 // Reset zeroes every accumulator in place, keeping the backing storage.
 func (a *Arena) Reset() {

@@ -52,10 +52,10 @@ type Estimator struct {
 	// colOf maps table index -> compact solver column (-1 = not on any
 	// usable path this epoch); cols is the inverse, in first-encounter
 	// order over origins — the column order the NNLS solve has always used.
-	colOf    []int32
-	cols     []int32
-	pathBuf  []int32 // all rows' link indices, flattened
-	rowStart []int32 // pathBuf offset per row, plus a final sentinel
+	colOf    []int32        // indexed by topo.LinkIdx; holds compact columns
+	cols     []topo.LinkIdx // compact column -> table index
+	pathBuf  []topo.LinkIdx // all rows' link indices, flattened
+	rowStart []int32        // pathBuf offset per row, plus a final sentinel
 	b        []float64
 }
 

@@ -47,10 +47,11 @@ type Estimator struct {
 	// colOf maps table index -> compact EM slot (-1 = not on any usable
 	// path this epoch); cols is the inverse, in first-encounter order over
 	// origins — the slot order the EM sweep has always used.
-	colOf    []int32
-	cols     []int32
-	pathBuf  []int32 // all sources' compact slots, flattened
-	srcStart []int32 // pathBuf offset per source, plus a final sentinel
+	colOf    []int32        // indexed by topo.LinkIdx; holds compact slots
+	cols     []topo.LinkIdx // compact slot -> table index
+	idxBuf   []topo.LinkIdx // one source's table indices, reused per origin
+	pathBuf  []int32        // all sources' compact slots, flattened
+	srcStart []int32        // pathBuf offset per source, plus a final sentinel
 	deliv    []float64
 	lost     []float64
 
@@ -109,20 +110,20 @@ func (est *Estimator) Estimate(e *epochobs.Epoch) []float64 {
 			continue
 		}
 		mark := len(est.pathBuf)
-		buf, ok := e.AppendPathIndices(est.lt, id, est.pathBuf)
-		est.pathBuf = buf
+		buf, ok := e.AppendPathIndices(est.lt, id, est.idxBuf[:0])
+		est.idxBuf = buf
 		if !ok {
 			continue
 		}
-		// Rewrite the appended table indices as compact EM slots, assigned
-		// in first-encounter order.
-		for i := mark; i < len(est.pathBuf); i++ {
-			li := est.pathBuf[i]
+		// Translate the table indices into compact EM slots, assigned in
+		// first-encounter order. idxBuf holds LinkIdx values, pathBuf holds
+		// slots: the two integer domains never share a buffer.
+		for _, li := range est.idxBuf {
 			if est.colOf[li] < 0 {
 				est.colOf[li] = int32(len(est.cols))
 				est.cols = append(est.cols, li)
 			}
-			est.pathBuf[i] = est.colOf[li]
+			est.pathBuf = append(est.pathBuf, est.colOf[li])
 		}
 		d := float64(e.Delivered[origin])
 		if d > float64(n) {

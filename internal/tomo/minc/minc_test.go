@@ -27,7 +27,7 @@ func toMap(lt *topo.LinkTable, est []float64) map[topo.Link]float64 {
 	out := map[topo.Link]float64{}
 	for i, v := range est {
 		if !math.IsNaN(v) {
-			out[lt.Link(i)] = v
+			out[lt.Link(topo.LinkIdx(i))] = v
 		}
 	}
 	return out
@@ -154,7 +154,7 @@ func TestEstimatorReuseAcrossEpochs(t *testing.T) {
 	for i := range first {
 		a, b := first[i], again[i]
 		if math.IsNaN(a) != math.IsNaN(b) || (!math.IsNaN(a) && a != b) {
-			t.Fatalf("link %v: %v then %v across reuse", lt.Link(i), a, b)
+			t.Fatalf("link %v: %v then %v across reuse", lt.Link(topo.LinkIdx(i)), a, b)
 		}
 	}
 }

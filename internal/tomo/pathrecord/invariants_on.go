@@ -5,6 +5,8 @@ package pathrecord
 import (
 	"fmt"
 	"math"
+
+	"dophy/internal/topo"
 )
 
 // recInvariants enforces per-hop conservation for the recording baselines:
@@ -21,7 +23,7 @@ func (iv *recInvariants) onHopRecorded() { iv.recordedHops++ }
 
 func (iv *recInvariants) onEndEpoch(r *Recorder) {
 	var total float64
-	for i := 0; i < r.linkObs.Len(); i++ {
+	for i := topo.LinkIdx(0); i < r.lt.Count(); i++ {
 		total += r.linkObs.At(i).Total()
 	}
 	if math.Abs(total-iv.recordedHops) > 1e-6*(1+iv.recordedHops) {

@@ -142,8 +142,8 @@ func (r *EpochReport) SamplesAt(l topo.Link) int64 {
 // EstimatedLinks returns the links with estimates, in table order.
 func (r *EpochReport) EstimatedLinks() []topo.Link {
 	var out []topo.Link
-	for i, v := range r.Loss {
-		if !math.IsNaN(v) {
+	for i := topo.LinkIdx(0); i < r.Table.Count(); i++ {
+		if !math.IsNaN(r.Loss[i]) {
 			out = append(out, r.Table.Link(i))
 		}
 	}
@@ -262,7 +262,7 @@ func (r *Recorder) EndEpoch() *EpochReport {
 	for i := range rep.Loss {
 		rep.Loss[i] = math.NaN()
 	}
-	for i := 0; i < r.linkObs.Len(); i++ {
+	for i := topo.LinkIdx(0); i < r.lt.Count(); i++ {
 		obs := r.linkObs.At(i)
 		total := obs.Total()
 		if total == 0 || total < float64(r.cfg.MinSamples) {

@@ -38,10 +38,10 @@ func checkTable(t *testing.T, tp *Topology) {
 		t.Fatalf("Len() = %d, want %d links", lt.Len(), len(links))
 	}
 	for i, l := range links {
-		if got := lt.Link(i); got != l {
+		if got := lt.Link(LinkIdx(i)); got != l {
 			t.Fatalf("Link(%d) = %v, want %v", i, got, l)
 		}
-		if got := lt.Index(l); got != i {
+		if got := lt.Index(l); got != LinkIdx(i) {
 			t.Fatalf("Index(%v) = %d, want %d", l, got, i)
 		}
 	}
@@ -76,14 +76,14 @@ func checkTable(t *testing.T, tp *Topology) {
 
 	// NodeSpan covers the table exactly once, in order, and NeighborIndex
 	// matches the position in the sorted neighbor list.
-	seen := 0
+	seen := LinkIdx(0)
 	for id := 0; id < n; id++ {
 		lo, hi := lt.NodeSpan(NodeID(id))
 		if lo != seen {
 			t.Fatalf("NodeSpan(%d) lo = %d, want %d", id, lo, seen)
 		}
 		nbs := tp.Neighbors(NodeID(id))
-		if hi-lo != len(nbs) {
+		if int(hi-lo) != len(nbs) {
 			t.Fatalf("NodeSpan(%d) width = %d, want %d", id, hi-lo, len(nbs))
 		}
 		for j, nb := range nbs {
@@ -94,7 +94,7 @@ func checkTable(t *testing.T, tp *Topology) {
 		}
 		seen = hi
 	}
-	if seen != lt.Len() {
+	if seen != lt.Count() {
 		t.Fatalf("NodeSpans cover %d links, want %d", seen, lt.Len())
 	}
 	if lt.NeighborIndex(Link{From: 0, To: 0}) != -1 {
@@ -119,7 +119,7 @@ func TestLinkTableDeterminism(t *testing.T) {
 		if la.Len() != lb.Len() {
 			t.Fatalf("%s: Len %d vs %d across runs", name, la.Len(), lb.Len())
 		}
-		for i := 0; i < la.Len(); i++ {
+		for i := LinkIdx(0); i < la.Count(); i++ {
 			if la.Link(i) != lb.Link(i) {
 				t.Fatalf("%s: Link(%d) differs across runs: %v vs %v",
 					name, i, la.Link(i), lb.Link(i))
@@ -140,7 +140,7 @@ func FuzzLinkTable(f *testing.F) {
 		}
 		tp := Uniform(n, 100, 100, 25, rng.New(seed))
 		lt := tp.LinkTable()
-		for i := 0; i < lt.Len(); i++ {
+		for i := LinkIdx(0); i < lt.Count(); i++ {
 			l := lt.Link(i)
 			if got := lt.Index(l); got != i {
 				t.Fatalf("Index(Link(%d)) = %d", i, got)

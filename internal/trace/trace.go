@@ -122,7 +122,7 @@ func (e *Epoch) Link(l topo.Link) LinkCounts {
 // estimate.
 func (e *Epoch) ActiveLinks(minAttempts int64) []topo.Link {
 	var out []topo.Link
-	for i := range e.Counts {
+	for i := topo.LinkIdx(0); i < e.Table.Count(); i++ {
 		if e.Counts[i].DataAttempts >= minAttempts && e.Counts[i].Attempts > 0 {
 			out = append(out, e.Table.Link(i))
 		}
