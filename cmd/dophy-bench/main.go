@@ -11,11 +11,14 @@
 //	dophy-bench -seed 42        # change the base seed
 //	dophy-bench -workers 4      # cap the scenario-sweep worker pool
 //	dophy-bench -list           # list experiment ids
+//	dophy-bench -exp S0 -shards 4
+//	                            # scale-tier experiment on the sharded engine
 //	dophy-bench -compare BENCH_linux-amd64.json
 //	                            # rerun and exit nonzero on a perf regression
-//	                            # (>15% wall-clock or >10% allocs/op per
-//	                            # experiment; tune with -max-wall-regress /
-//	                            # -max-allocs-regress; allocs gate needs
+//	                            # (>15% wall-clock, >10% allocs/op or >20%
+//	                            # events/sec per experiment; tune with
+//	                            # -max-wall-regress / -max-allocs-regress /
+//	                            # -max-eventsps-regress; allocs gate needs
 //	                            # -parallel 1 baselines on both sides)
 package main
 
@@ -37,9 +40,12 @@ import (
 // benchReport is the -json output: one record per experiment plus a summary,
 // so successive runs can be diffed (BENCH_*.json) to track perf regressions.
 type benchReport struct {
-	Seed        uint64            `json:"seed"`
-	Parallel    int               `json:"parallel"`
-	Workers     int               `json:"sweep_workers"`
+	Seed     uint64 `json:"seed"`
+	Parallel int    `json:"parallel"`
+	Workers  int    `json:"sweep_workers"`
+	// Shards is the shard count scale-tier experiments ran with (-shards);
+	// omitted (1) for unsharded runs and pre-shard report formats.
+	Shards      int               `json:"shards,omitempty"`
 	NumCPU      int               `json:"num_cpu"`
 	GoVersion   string            `json:"go_version"`
 	Experiments []benchExperiment `json:"experiments"`
@@ -103,29 +109,40 @@ func main() {
 		listFlag   = flag.Bool("list", false, "list experiment ids and exit")
 		parallel   = flag.Int("parallel", runtime.NumCPU(), "experiments to run concurrently (1 = sequential)")
 		workers    = flag.Int("workers", 0, "scenario-sweep worker pool size (0 = NumCPU)")
+		shards     = flag.Int("shards", 1, "shard count for scale-tier experiments (S*); other tiers ignore it")
 		compare    = flag.String("compare", "", "previous -json report to diff against; exits nonzero on regression")
 		maxWall    = flag.Float64("max-wall-regress", 0.15, "per-experiment wall-clock regression tolerance for -compare")
 		maxAlloc   = flag.Float64("max-allocs-regress", 0.10, "per-experiment allocs-per-run regression tolerance for -compare")
+		maxEPS     = flag.Float64("max-eventsps-regress", 0.20, "per-experiment events/sec regression tolerance for -compare")
 		maxRSS     = flag.Float64("max-rss-regress", 0.30, "whole-run peak-RSS regression tolerance for -compare")
 		requireAll = flag.Bool("require-all", false, "fail -compare when any baseline experiment was not rerun")
 	)
 	flag.Parse()
 
 	experiment.SetWorkers(*workers)
+	experiment.SetShards(*shards)
 
+	// Scale tiers (S*) are opt-in: a bare run covers All() — the tables and
+	// figures the goldens and the seed-7 CSV pin down — while -exp may name
+	// tiers from either registry.
 	registry := experiment.All()
+	scaleRegistry := experiment.Scale()
 	if *listFlag {
 		for _, r := range registry {
 			fmt.Printf("%-4s %s\n", r.ID, r.Title)
 		}
+		for _, r := range scaleRegistry {
+			fmt.Printf("%-4s %s (scale tier; opt-in via -exp, honours -shards)\n", r.ID, r.Title)
+		}
 		return
 	}
 
+	combined := append(append([]experiment.Runner{}, registry...), scaleRegistry...)
 	want := map[string]bool{}
 	if *expFlag != "" {
 		for _, id := range strings.Split(*expFlag, ",") {
 			id = strings.ToUpper(strings.TrimSpace(id))
-			if !knownID(registry, id) {
+			if !knownID(combined, id) {
 				fmt.Fprintf(os.Stderr, "dophy-bench: unknown experiment %q (use -list)\n", id)
 				os.Exit(2)
 			}
@@ -134,8 +151,12 @@ func main() {
 	}
 
 	var selected []experiment.Runner
-	for _, r := range registry {
-		if len(want) > 0 && !want[r.ID] {
+	for _, r := range combined {
+		if len(want) == 0 {
+			if knownID(scaleRegistry, r.ID) {
+				continue // scale tiers run only when explicitly selected
+			}
+		} else if !want[r.ID] {
 			continue
 		}
 		selected = append(selected, r)
@@ -192,10 +213,15 @@ func main() {
 	totalWall := time.Since(wallStart)
 
 	if *jsonFlag || *compare != "" {
+		repShards := experiment.Shards()
+		if repShards == 1 {
+			repShards = 0 // omitempty: unsharded runs match pre-shard reports
+		}
 		rep := benchReport{
 			Seed:       *seedFlag,
 			Parallel:   expWorkers,
 			Workers:    experiment.Workers(),
+			Shards:     repShards,
 			NumCPU:     runtime.NumCPU(),
 			GoVersion:  runtime.Version(),
 			TotalWallS: totalWall.Seconds(),
@@ -237,7 +263,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "dophy-bench: -compare: %v\n", err)
 				os.Exit(2)
 			}
-			if !compareReports(os.Stderr, old, &rep, *maxWall, *maxAlloc, *maxRSS, *requireAll) {
+			if !compareReports(os.Stderr, old, &rep, *maxWall, *maxAlloc, *maxEPS, *maxRSS, *requireAll) {
 				os.Exit(1)
 			}
 		}
@@ -279,7 +305,7 @@ const minCompareWallS = 0.25
 // experiments absent from the fresh run are always listed; with requireAll
 // they fail the comparison, so a partial -exp rerun cannot masquerade as a
 // full regression gate.
-func compareReports(out io.Writer, old, cur *benchReport, maxWall, maxAlloc, maxRSS float64, requireAll bool) bool {
+func compareReports(out io.Writer, old, cur *benchReport, maxWall, maxAlloc, maxEPS, maxRSS float64, requireAll bool) bool {
 	byID := map[string]*benchExperiment{}
 	for i := range old.Experiments {
 		byID[old.Experiments[i].ID] = &old.Experiments[i]
@@ -298,6 +324,16 @@ func compareReports(out io.Writer, old, cur *benchReport, maxWall, maxAlloc, max
 		if oe.WallS >= minCompareWallS {
 			if rel := ne.WallS/oe.WallS - 1; rel > maxWall {
 				verdict = fmt.Sprintf("WALL REGRESSION (+%.1f%% > %.0f%%)", 100*rel, 100*maxWall)
+				ok = false
+			}
+		}
+		// Throughput gates on simulator events per second — the metric the
+		// sharded engine exists to raise — under the same noise floor as
+		// wall-clock. Both sides must have event metering (older formats and
+		// zero-event experiments are skipped).
+		if oe.WallS >= minCompareWallS && oe.EventsPS > 0 && ne.EventsPS > 0 {
+			if rel := 1 - ne.EventsPS/oe.EventsPS; rel > maxEPS {
+				verdict = fmt.Sprintf("EVENTS/SEC REGRESSION (-%.1f%% > %.0f%%)", 100*rel, 100*maxEPS)
 				ok = false
 			}
 		}
@@ -354,8 +390,8 @@ func compareReports(out io.Writer, old, cur *benchReport, maxWall, maxAlloc, max
 			old.PeakRSSKB, cur.PeakRSSKB, 100*rel, verdict)
 	}
 	if ok {
-		fmt.Fprintf(out, "dophy-bench: no regressions beyond tolerances (wall %.0f%%, allocs %.0f%%)\n",
-			100*maxWall, 100*maxAlloc)
+		fmt.Fprintf(out, "dophy-bench: no regressions beyond tolerances (wall %.0f%%, allocs %.0f%%, events/sec %.0f%%)\n",
+			100*maxWall, 100*maxAlloc, 100*maxEPS)
 	} else {
 		fmt.Fprintf(out, "dophy-bench: REGRESSION detected\n")
 	}

@@ -14,6 +14,7 @@ package collect
 
 import (
 	"dophy/internal/mac"
+	"dophy/internal/rng"
 	"dophy/internal/routing"
 	"dophy/internal/sim"
 	"dophy/internal/topo"
@@ -115,6 +116,25 @@ type Router interface {
 
 var _ Router = (*routing.Protocol)(nil)
 
+// Fabric transports a packet to its next-hop node when that node may be
+// owned by another shard. DeliverData is called on the sending node's shard
+// at transmission time; the fabric must invoke Arrive on the destination's
+// owning Network instance at the arrival time 'at' (which transmit
+// guarantees is at least HopDelay+TxTime in the future — the latency floor
+// the shard engine's lookahead is derived from). Sink deliveries never
+// reach the fabric: the final hop completes on the sender's shard.
+type Fabric interface {
+	DeliverData(from, to topo.NodeID, at sim.Time, j *PacketJourney)
+}
+
+// ShardHooks configures a Network instance for the sharded engine. All
+// fields may be zero for a plain sequential instance.
+type ShardHooks struct {
+	Owned   []bool        // nodes this instance owns; nil = all
+	PerNode []*rng.Source // per-node RNG streams, indexed by NodeID
+	Fabric  Fabric        // cross-node packet transport
+}
+
 // Network wires the layers together for one simulated deployment.
 type Network struct {
 	// inv carries the build-tag-gated journey/queue audits; a zero-size
@@ -127,6 +147,9 @@ type Network struct {
 	proto      Router
 	rec        *trace.Recorder
 	r          jitterSource
+	perNode    []*rng.Source
+	owned      []bool
+	fab        Fabric
 	nextSeq    []int64
 	subs       []JourneyFunc
 	annotators []Annotator
@@ -154,6 +177,14 @@ type jitterSource interface {
 
 // New wires a network. rec may be nil.
 func New(cfg Config, eng *sim.Engine, tp *topo.Topology, arq *mac.ARQ, proto Router, r jitterSource, rec *trace.Recorder) *Network {
+	return NewSharded(cfg, eng, tp, arq, proto, r, rec, ShardHooks{})
+}
+
+// NewSharded wires a network instance for one shard of a partitioned
+// simulation: generation runs only for owned nodes, jitter draws come from
+// per-node streams, and packets leaving the shard travel over the fabric.
+// With zero hooks it is exactly New.
+func NewSharded(cfg Config, eng *sim.Engine, tp *topo.Topology, arq *mac.ARQ, proto Router, r jitterSource, rec *trace.Recorder, hooks ShardHooks) *Network {
 	if cfg.GenPeriod <= 0 {
 		panic("collect: generation period must be positive")
 	}
@@ -171,6 +202,9 @@ func New(cfg Config, eng *sim.Engine, tp *topo.Topology, arq *mac.ARQ, proto Rou
 		proto:   proto,
 		rec:     rec,
 		r:       r,
+		perNode: hooks.PerNode,
+		owned:   hooks.Owned,
+		fab:     hooks.Fabric,
 		nextSeq: make([]int64, tp.N()),
 	}
 	if cfg.QueueCap > 0 {
@@ -178,6 +212,20 @@ func New(cfg Config, eng *sim.Engine, tp *topo.Topology, arq *mac.ARQ, proto Rou
 		n.queues = make([][]*PacketJourney, tp.N())
 	}
 	return n
+}
+
+// owns reports whether this instance runs id's generation process.
+func (n *Network) owns(id topo.NodeID) bool { return n.owned == nil || n.owned[id] }
+
+// rng returns the jitter stream for id's draws: the node's own stream in
+// sharded mode, the shared network stream otherwise.
+//
+//dophy:hotpath
+func (n *Network) rng(id topo.NodeID) jitterSource {
+	if n.perNode != nil {
+		return n.perNode[id]
+	}
+	return n.r
 }
 
 // Subscribe registers fn to receive every completed journey.
@@ -196,15 +244,18 @@ func (n *Network) Start() {
 	n.genFns = make([]sim.Handler, n.tp.N())
 	for i := 1; i < n.tp.N(); i++ {
 		id := topo.NodeID(i)
+		if !n.owns(id) {
+			continue
+		}
 		n.genFns[i] = func() { n.generate(id) }
-		first := sim.Time(n.r.Float64()) * n.cfg.GenPeriod
+		first := sim.Time(n.rng(id).Float64()) * n.cfg.GenPeriod
 		n.eng.Schedule(n.eng.Now()+first, n.genFns[i])
 	}
 }
 
-func (n *Network) jitteredPeriod() sim.Time {
+func (n *Network) jitteredPeriod(id topo.NodeID) sim.Time {
 	j := n.cfg.GenJitter
-	return n.cfg.GenPeriod * sim.Time(1+n.r.Range(-j, j))
+	return n.cfg.GenPeriod * sim.Time(1+n.rng(id).Range(-j, j))
 }
 
 // generate creates one packet at id and starts forwarding it.
@@ -223,7 +274,16 @@ func (n *Network) generate(id topo.NodeID) {
 		a.OnGenerate(j)
 	}
 	n.forward(id, j)
-	n.eng.After(n.jitteredPeriod(), n.genFns[id])
+	n.eng.After(n.jitteredPeriod(id), n.genFns[id])
+}
+
+// Arrive admits a packet delivered over the fabric to owned node 'to' —
+// the cross-shard counterpart of the local post-hop continuation. It must
+// run on this instance's engine at the packet's arrival time.
+//
+//dophy:hotpath
+func (n *Network) Arrive(to topo.NodeID, j *PacketJourney) {
+	n.forward(to, j)
 }
 
 // forward admits j to node at: directly when contention is unmodelled or
@@ -342,6 +402,16 @@ func (n *Network) transmit(at topo.NodeID, j *PacketJourney) {
 	j.Hops = append(j.Hops, hop)
 	for _, a := range n.annotators {
 		a.OnHop(j, hop)
+	}
+	if n.fab != nil && parent != topo.Sink {
+		// Sharded path: release this node locally when the hop completes and
+		// hand the packet to the fabric, which lands it on the parent's owner
+		// at the same absolute time the local continuation would have run.
+		// Sink deliveries stay on the local continuation so the journey
+		// finishes on the forwarder's shard either way.
+		n.eng.After(delay, n.cont(at, 0, nil).fn)
+		n.fab.DeliverData(at, parent, n.eng.Now()+delay, j)
+		return
 	}
 	n.eng.After(delay, n.cont(at, parent, j).fn)
 }

@@ -1,0 +1,136 @@
+package experiment
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// This file is the scale-tier registry: experiments sized to exercise the
+// sharded engine (internal/sim/shard) rather than to reproduce a paper
+// table. They are deliberately kept out of All() — goldens and the seed-7
+// bench CSV iterate over All(), and scale tiers are minutes of work meant
+// to be opted into explicitly (dophy-bench -exp S0 / -exp S1).
+
+// shardCount is the shard count scale tiers run with; 0/1 means unsharded.
+var shardCount atomic.Int32
+
+// SetShards sets the shard count used by the scale-tier runners (clamped
+// to >= 1) and returns the previous value. Like SetWorkers it is package-
+// global: cmd/dophy-bench threads its -shards flag through here.
+func SetShards(n int) int {
+	prev := Shards()
+	if n < 1 {
+		n = 1
+	}
+	shardCount.Store(int32(n))
+	return prev
+}
+
+// Shards returns the current scale-tier shard count.
+func Shards() int {
+	if n := int(shardCount.Load()); n > 0 {
+		return n
+	}
+	return 1
+}
+
+// Scale returns the scale-tier runners. Disjoint from All(): these honour
+// SetShards and report partitioned-engine telemetry instead of scheme
+// comparisons.
+func Scale() []Runner {
+	return []Runner{
+		{"S0", "sharded engine smoke (2.5k-node grid)", S0},
+		{"S1", "sharded engine at scale (100k-node grid)", S1},
+	}
+}
+
+// scaleScenario returns the common scale-tier configuration: a large
+// jittered grid with Trickle beaconing (plain periodic beacons would need
+// one period per hop of tree depth to converge — hundreds of periods at
+// these diameters) and a generation period slow enough to bound in-flight
+// packets while still producing tens of packet events per node per epoch.
+func scaleScenario(name string, seed uint64, side int) Scenario {
+	sc := DefaultScenario()
+	sc.Name = name
+	sc.Seed = seed
+	sc.Topo = GridSpec(side)
+	// BeaconMax caps idle back-off at 2s: a node that routes for the first
+	// time has its next beacon at most one capped interval away, so the
+	// route wave sweeps the grid at roughly a hop per second instead of
+	// stalling behind fully backed-off timers.
+	sc.Routing.AdaptiveBeacon = true
+	sc.Routing.BeaconMin = 0.5
+	sc.Routing.BeaconMax = 2
+	sc.Routing.TrickleReset = 0.5
+	sc.Collect.GenPeriod = 60
+	sc.Collect.GenJitter = 0.25
+	// Paths grow with the grid diameter; leave generous TTL headroom for
+	// detours during convergence so long journeys are not cut short.
+	sc.Collect.TTL = 8 * side
+	sc.Epochs = 1
+	return sc
+}
+
+// runScaleTier runs sc under the sharded engine at the registry shard
+// count and renders the telemetry table shared by S0 and S1.
+func runScaleTier(id, title string, sc Scenario) *Table {
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"metric", "value"},
+		Notes: []string{
+			"sharded run: byte-identical at every -shards value; see DESIGN.md",
+			fmt.Sprintf("shards=%d (dophy-bench -shards)", Shards()),
+		},
+	}
+	s := NewShardedSession(sc, DefaultShardSpec(Shards()))
+	defer s.Close()
+	var eo *EpochOutcome
+	for e := 0; e < sc.Epochs; e++ {
+		eo = s.RunEpoch()
+	}
+	st := s.Stats()
+	events := s.Events()
+	dophy := eo.Schemes[SchemeDophy]
+	row := func(metric, value string) { t.Rows = append(t.Rows, []string{metric, value}) }
+	row("nodes", fmt.Sprintf("%d", s.Topology().N()))
+	row("links", fmt.Sprintf("%d", st.Links))
+	row("shards", fmt.Sprintf("%d", st.Shards))
+	row("cut-links", fmt.Sprintf("%d", st.CutLinks))
+	row("lookahead-s", fmt.Sprintf("%g", float64(st.Lookahead)))
+	row("windows", fmt.Sprintf("%d", st.Windows))
+	row("exchanged", fmt.Sprintf("%d", st.Exchanged))
+	// Wall-clock (and so events/sec) is deliberately absent: simulation code
+	// never reads wall time. dophy-bench times each experiment and derives
+	// sim_events_per_second in its -json report from the events count here.
+	row("events", fmt.Sprintf("%d", events))
+	row("routed-nodes", fmt.Sprintf("%d", s.Routed()))
+	row("delivered", fmt.Sprintf("%d", eo.Truth.Delivered))
+	row("generated", fmt.Sprintf("%d", eo.Truth.Generated))
+	row("beacons", fmt.Sprintf("%d", s.BeaconsSent()))
+	row("dophy-bits-per-packet", f2(dophy.BitsPerPacket()))
+	t.recordSession(events)
+	return t
+}
+
+// S0 is the CI-sized scale tier: large enough that a 2-shard run executes
+// thousands of windows, small enough to finish in seconds. The CI bench
+// smoke runs it at -shards 1 and -shards 2 and gates on events/sec.
+func S0(seed uint64) *Table {
+	sc := scaleScenario("s0-scale-smoke", seed, 50)
+	sc.Warmup = 180
+	sc.EpochLen = 60
+	sc.Collect.GenPeriod = 30
+	return runScaleTier("S0", "sharded engine smoke (2.5k-node grid)", sc)
+}
+
+// S1 is the headline scale tier: a ~100k-node grid (316x316) that a flat
+// per-epoch map pipeline could not hold. Expect minutes at one shard and
+// near-linear speedup with -shards up to the machine's cores.
+func S1(seed uint64) *Table {
+	sc := scaleScenario("s1-scale-100k", seed, 316)
+	sc.Warmup = 700
+	sc.EpochLen = 120
+	sc.Collect.GenPeriod = 120
+	return runScaleTier("S1", "sharded engine at scale (100k-node grid)", sc)
+}

@@ -301,20 +301,30 @@ func sortedAfter(pkg *Package, fnBody *ast.BlockStmt, pos token.Pos, target type
 }
 
 // ---------------------------------------------------------------------------
-// Rule nogo: goroutines live only in the sweep engine and in cmd/.
+// Rule nogo: goroutines live only in sanctioned concurrency boundaries.
 //
 // A single sim.Engine run is strictly sequential by design; parallelism
-// enters exclusively at the scenario level (internal/experiment/sweep.go)
-// and in command-line front-ends. A goroutine anywhere else either races
-// the simulation or makes event order scheduling-dependent.
+// enters exclusively at the scenario level (internal/experiment/sweep.go),
+// inside the conservative-lookahead shard engine (internal/sim/shard, whose
+// window barrier confines all cross-goroutine traffic), and in command-line
+// front-ends. A goroutine anywhere else either races the simulation or
+// makes event order scheduling-dependent.
 // ---------------------------------------------------------------------------
+
+// goSanctioned reports whether the package is a sanctioned concurrency
+// boundary where goroutines are allowed. Shared by nogo and determflow so
+// the two rules cannot drift apart.
+func goSanctioned(pkg *Package) bool {
+	return pkg.RelPath == "cmd" || strings.HasPrefix(pkg.RelPath, "cmd/") ||
+		pkg.RelPath == "internal/sim/shard"
+}
 
 type ruleGoStmt struct{}
 
 func (ruleGoStmt) Name() string { return "nogo" }
 
 func (ruleGoStmt) Check(m *Module, pkg *Package, report func(pos token.Pos, format string, args ...any)) {
-	if pkg.RelPath == "cmd" || strings.HasPrefix(pkg.RelPath, "cmd/") {
+	if goSanctioned(pkg) {
 		return
 	}
 	for _, file := range pkg.Files {
@@ -323,7 +333,7 @@ func (ruleGoStmt) Check(m *Module, pkg *Package, report func(pos token.Pos, form
 		}
 		ast.Inspect(file.AST, func(n ast.Node) bool {
 			if g, ok := n.(*ast.GoStmt); ok {
-				report(g.Pos(), "goroutine outside internal/experiment/sweep.go and cmd/: simulations are single-threaded by construction")
+				report(g.Pos(), "goroutine outside internal/experiment/sweep.go, internal/sim/shard and cmd/: simulations are single-threaded by construction")
 			}
 			return true
 		})

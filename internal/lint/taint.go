@@ -197,8 +197,11 @@ func (m *Module) determDiags() []hotDiag {
 		}
 		// Goroutine spawns reorder observable events; the sweep engine's
 		// are the sanctioned scenario-level parallelism (deterministic
-		// merge), and cmd/ front-ends never feed sim state.
-		if n.Decl.Body != nil && n.File.Name != "internal/experiment/sweep.go" && !isCmd(n.Pkg.RelPath) {
+		// merge), the shard engine's window workers exchange state only at
+		// barriers with a shard-count-invariant merge order, and cmd/
+		// front-ends never feed sim state.
+		if n.Decl.Body != nil && n.File.Name != "internal/experiment/sweep.go" &&
+			!isCmd(n.Pkg.RelPath) && n.Pkg.RelPath != "internal/sim/shard" {
 			ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
 				if g, ok := x.(*ast.GoStmt); ok && !allowed(g.Pos()) {
 					mark(n, &taintInfo{desc: "go statement", pos: g.Pos()})

@@ -1,0 +1,33 @@
+// Package shard mirrors the real internal/sim/shard: the one non-cmd
+// package sanctioned to spawn goroutines (the conservative-lookahead
+// worker-per-shard engine). nogo and the determflow goroutine taint must
+// stay silent here — but pooled-object hygiene still applies: shard-owned
+// state may not retain another package's pooled objects across windows.
+package shard
+
+import "fixture/internal/pool"
+
+// Engine runs one worker goroutine per shard beyond the first.
+type Engine struct {
+	start []chan float64
+	done  chan struct{}
+}
+
+// Run spawns the sanctioned workers: no nogo/determflow diagnostic.
+func (e *Engine) Run(shards int) {
+	for i := 1; i < shards; i++ {
+		go e.worker(i)
+	}
+}
+
+func (e *Engine) worker(i int) {
+	for range e.start[i] {
+		e.done <- struct{}{}
+	}
+}
+
+// Outbox leaks a pooled object across the shard boundary: sanctioning the
+// goroutine does NOT sanction retaining recycled objects past a window.
+type Outbox struct {
+	last *pool.Obj // want "retains pooled pool.Obj"
+}

@@ -60,10 +60,11 @@ func DefaultConfig() Config {
 
 // ARQ performs acknowledged unicast over a radio model.
 type ARQ struct {
-	cfg   Config
-	model radio.Model
-	r     *rng.Source
-	rec   *trace.Recorder
+	cfg     Config
+	model   radio.Model
+	r       *rng.Source
+	perNode []*rng.Source // sender-keyed streams (sharded mode); nil = use r
+	rec     *trace.Recorder
 }
 
 // New builds an ARQ layer. rec may be nil to skip ground-truth recording.
@@ -80,13 +81,28 @@ func New(cfg Config, model radio.Model, r *rng.Source, rec *trace.Recorder) *ARQ
 // MaxAttempts returns the attempt budget per packet (MaxRetx + 1).
 func (a *ARQ) MaxAttempts() int { return a.cfg.MaxRetx + 1 }
 
+// UsePerNodeRNG switches every draw of an exchange to the sending node's
+// stream (indexed by l.From). The sharded engine requires this: a sender's
+// draws then depend only on its own event order, not on how exchanges from
+// different nodes interleave across shards. Call before the first Send.
+func (a *ARQ) UsePerNodeRNG(streams []*rng.Source) { a.perNode = streams }
+
+//dophy:hotpath
+func (a *ARQ) rng(sender topo.NodeID) *rng.Source {
+	if a.perNode != nil {
+		return a.perNode[sender]
+	}
+	return a.r
+}
+
 // Send runs one ARQ exchange on link l at virtual time now.
 func (a *ARQ) Send(l topo.Link, now sim.Time) Result {
 	var res Result
+	r := a.rng(l.From)
 	for attempt := 1; attempt <= a.cfg.MaxRetx+1; attempt++ {
 		res.Attempts = attempt
 		p := a.model.PRR(l, now)
-		received := a.r.Bool(p)
+		received := r.Bool(p)
 		if a.rec != nil {
 			a.rec.Attempt(l, received)
 		}
@@ -98,10 +114,10 @@ func (a *ARQ) Send(l topo.Link, now sim.Time) Result {
 			res.FirstDelivered = attempt
 		}
 		//dophy:allow valrange -- New panics unless AckLoss is in [0,1)
-		acked := !a.r.Bool(a.cfg.AckLoss)
+		acked := !r.Bool(a.cfg.AckLoss)
 		if a.cfg.AckOverReverseLink {
 			rev := topo.Link{From: l.To, To: l.From}
-			acked = a.r.Bool(a.model.PRR(rev, now))
+			acked = r.Bool(a.model.PRR(rev, now))
 		}
 		if acked {
 			res.AckedAttempt = attempt

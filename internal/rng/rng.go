@@ -50,6 +50,35 @@ func New(seed uint64) *Source {
 	return &s
 }
 
+// Derive returns the idx-th member of a family of decorrelated streams keyed
+// by seed. Unlike Split it needs no shared parent state, so callers can
+// derive stream idx directly — the sharded simulation uses this to give every
+// node its own stream from (scenario seed, node id), making each node's draw
+// sequence independent of how events from different nodes interleave.
+func Derive(seed, idx uint64) *Source {
+	// Feed both words through the splitMix64 finalizer so that adjacent
+	// indices land on unrelated states (same construction New uses for
+	// adjacent seeds).
+	sm := seed ^ (idx+0x6a09e667f3bcc909)*0x9e3779b97f4a7c15
+	var s Source
+	for i := range s.s {
+		s.s[i] = splitMix64(&sm)
+	}
+	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
+		s.s[0] = 1
+	}
+	return &s
+}
+
+// NewStreams returns n streams Derive(seed, 0..n-1), allocated in one block.
+func NewStreams(seed uint64, n int) []*Source {
+	out := make([]*Source, n)
+	for i := range out {
+		out[i] = Derive(seed, uint64(i))
+	}
+	return out
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly random bits.

@@ -1,6 +1,7 @@
 package rng
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -298,4 +299,43 @@ func BenchmarkIntn(b *testing.B) {
 		sink = r.Intn(1000)
 	}
 	_ = sink
+}
+
+func TestDeriveDeterministic(t *testing.T) {
+	a := Derive(42, 7)
+	b := Derive(42, 7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("Derive(42,7) diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDeriveStreamsDecorrelated(t *testing.T) {
+	// Distinct indices (including adjacent ones) and distinct seeds must not
+	// collide on their opening draws.
+	seen := make(map[uint64]string)
+	for _, seed := range []uint64{0, 1, 42} {
+		for idx := uint64(0); idx < 64; idx++ {
+			v := Derive(seed, idx).Uint64()
+			key := fmt.Sprintf("seed=%d idx=%d", seed, idx)
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("first draw collision between %s and %s", prev, key)
+			}
+			seen[v] = key
+		}
+	}
+}
+
+func TestNewStreams(t *testing.T) {
+	streams := NewStreams(9, 16)
+	if len(streams) != 16 {
+		t.Fatalf("NewStreams returned %d streams, want 16", len(streams))
+	}
+	for i, s := range streams {
+		want := Derive(9, uint64(i)).Uint64()
+		if got := s.Uint64(); got != want {
+			t.Fatalf("stream %d first draw = %d, want Derive value %d", i, got, want)
+		}
+	}
 }

@@ -97,6 +97,27 @@ type nodeState struct {
 	trickleHot bool    // reset requested since last beacon
 }
 
+// Fabric transports beacons between nodes that may live on different
+// shards. When set, a received beacon is handed to the fabric instead of
+// being applied synchronously; the fabric must invoke ReceiveBeacon on the
+// destination's owning Protocol instance after its cross-shard latency.
+type Fabric interface {
+	DeliverBeacon(from, to topo.NodeID, seq int64, advertisedETX float64)
+}
+
+// ShardHooks configures a Protocol instance for the sharded engine. All
+// fields may be zero for a plain sequential instance.
+type ShardHooks struct {
+	// Owned marks the nodes this instance owns; state exists and beacon
+	// processes run only for them. nil means all nodes.
+	Owned []bool
+	// PerNode gives every node its own RNG stream (indexed by NodeID), so
+	// draw sequences are independent of cross-node event interleaving.
+	PerNode []*rng.Source
+	// Fabric carries beacons across the shard boundary.
+	Fabric Fabric
+}
+
 // Protocol runs collection routing for one network.
 type Protocol struct {
 	cfg     Config
@@ -104,6 +125,9 @@ type Protocol struct {
 	tp      *topo.Topology
 	model   radio.Model
 	r       *rng.Source
+	perNode []*rng.Source
+	owned   []bool
+	fab     Fabric
 	rec     *trace.Recorder
 	nodes   []*nodeState
 	started bool
@@ -129,6 +153,15 @@ type Protocol struct {
 
 // New builds the protocol. rec may be nil.
 func New(cfg Config, eng *sim.Engine, tp *topo.Topology, model radio.Model, r *rng.Source, rec *trace.Recorder) *Protocol {
+	return NewSharded(cfg, eng, tp, model, r, rec, ShardHooks{})
+}
+
+// NewSharded builds a protocol instance for one shard of a partitioned
+// simulation: node state is allocated only for owned nodes (a 100k-node
+// topology split K ways would otherwise cost K full state tables), draws
+// come from per-node streams, and beacons cross the boundary through the
+// fabric. With zero hooks it is exactly New.
+func NewSharded(cfg Config, eng *sim.Engine, tp *topo.Topology, model radio.Model, r *rng.Source, rec *trace.Recorder, hooks ShardHooks) *Protocol {
 	if cfg.BeaconPeriod <= 0 {
 		panic("routing: beacon period must be positive")
 	}
@@ -144,9 +177,13 @@ func New(cfg Config, eng *sim.Engine, tp *topo.Topology, model radio.Model, r *r
 		}
 	}
 	p := &Protocol{cfg: cfg, eng: eng, tp: tp, model: model, r: r, rec: rec,
+		perNode: hooks.PerNode, owned: hooks.Owned, fab: hooks.Fabric,
 		pendingBeacon: make([]bool, tp.N())}
 	p.nodes = make([]*nodeState, tp.N())
 	for i := range p.nodes {
+		if !p.owns(topo.NodeID(i)) {
+			continue
+		}
 		ns := &nodeState{
 			id:         topo.NodeID(i),
 			parent:     NoParent,
@@ -159,8 +196,24 @@ func New(cfg Config, eng *sim.Engine, tp *topo.Topology, model radio.Model, r *r
 		}
 		p.nodes[i] = ns
 	}
-	p.nodes[topo.Sink].pathETX = 0
+	if p.owns(topo.Sink) {
+		p.nodes[topo.Sink].pathETX = 0
+	}
 	return p
+}
+
+// owns reports whether this instance holds id's protocol state.
+func (p *Protocol) owns(id topo.NodeID) bool { return p.owned == nil || p.owned[id] }
+
+// rng returns the stream id's draws come from: the node's own stream in
+// sharded mode, the shared protocol stream otherwise.
+//
+//dophy:hotpath
+func (p *Protocol) rng(id topo.NodeID) *rng.Source {
+	if p.perNode != nil {
+		return p.perNode[id]
+	}
+	return p.r
 }
 
 // Start schedules the per-node beacon processes. Call once.
@@ -173,6 +226,9 @@ func (p *Protocol) Start() {
 	p.beaconNowFns = make([]sim.Handler, len(p.nodes))
 	for i := range p.nodes {
 		id := topo.NodeID(i)
+		if !p.owns(id) {
+			continue
+		}
 		p.beaconFns[i] = func() { p.beacon(id) }
 		p.beaconNowFns[i] = func() {
 			p.pendingBeacon[id] = false
@@ -184,7 +240,7 @@ func (p *Protocol) Start() {
 			firstPeriod = p.cfg.BeaconMin
 		}
 		// Desynchronise first beacons across the period.
-		first := sim.Time(p.r.Float64()) * firstPeriod
+		first := sim.Time(p.rng(id).Float64()) * firstPeriod
 		p.eng.Schedule(p.eng.Now()+first, p.beaconFns[i])
 	}
 }
@@ -206,7 +262,7 @@ func (p *Protocol) jitteredPeriod(ns *nodeState) sim.Time {
 		}
 		base = ns.interval
 	}
-	return base * sim.Time(1+p.r.Range(-j, j))
+	return base * sim.Time(1+p.rng(ns.id).Range(-j, j))
 }
 
 // trickleReset asks for ns's beacon interval to snap back to BeaconMin at
@@ -225,7 +281,7 @@ func (p *Protocol) beacon(id topo.NodeID) {
 	p.beaconOnce(id)
 	// Forced churn knob: occasionally re-pick among admissible parents.
 	//dophy:allow valrange -- New panics unless RandomizeParentProb is in [0,1]
-	if p.cfg.RandomizeParentProb > 0 && id != topo.Sink && p.r.Bool(p.cfg.RandomizeParentProb) {
+	if p.cfg.RandomizeParentProb > 0 && id != topo.Sink && p.rng(id).Bool(p.cfg.RandomizeParentProb) {
 		p.randomizeParent(id)
 	}
 	// Trickle: a metric that moved since the last beacon re-arms fast
@@ -321,7 +377,7 @@ func (p *Protocol) scheduleNow(id topo.NodeID) {
 	if !p.cfg.AdaptiveBeacon || !p.started {
 		return
 	}
-	p.eng.After(p.cfg.BeaconMin*sim.Time(0.25*(1+p.r.Float64())), p.beaconNowFns[id])
+	p.eng.After(p.cfg.BeaconMin*sim.Time(0.25*(1+p.rng(id).Float64())), p.beaconNowFns[id])
 	p.pendingBeacon[id] = true
 }
 
@@ -334,16 +390,29 @@ func (p *Protocol) beaconOnce(id topo.NodeID) {
 	p.BeaconsSent++
 	now := p.eng.Now()
 	adv := ns.pathETX
+	r := p.rng(id)
 	for _, nb := range p.tp.Neighbors(id) {
 		l := topo.Link{From: id, To: nb}
-		received := p.r.Bool(p.model.PRR(l, now))
+		received := r.Bool(p.model.PRR(l, now))
 		if p.rec != nil {
 			p.rec.Beacon(l, received)
 		}
 		if received {
-			p.receiveBeacon(nb, id, ns.beaconSeq, adv)
+			if p.fab != nil {
+				p.fab.DeliverBeacon(id, nb, ns.beaconSeq, adv)
+			} else {
+				p.receiveBeacon(nb, id, ns.beaconSeq, adv)
+			}
 		}
 	}
+}
+
+// ReceiveBeacon applies a beacon that arrived over the fabric at node 'at'.
+// It must run on the engine owning 'at', at the beacon's arrival time.
+//
+//dophy:hotpath
+func (p *Protocol) ReceiveBeacon(at, from topo.NodeID, seq int64, advertisedETX float64) {
+	p.receiveBeacon(at, from, seq, advertisedETX)
 }
 
 // metric returns the routing metric of candidate nb as seen from ns, and
@@ -419,7 +488,7 @@ func (p *Protocol) randomizeParent(id topo.NodeID) {
 	if len(cands) == 0 {
 		return
 	}
-	k := p.r.Intn(len(cands))
+	k := p.rng(id).Intn(len(cands))
 	p.adoptParent(ns, cands[k], metrics[k])
 }
 
@@ -448,16 +517,22 @@ func (p *Protocol) PathETX(id topo.NodeID) float64 { return p.nodes[id].pathETX 
 func (p *Protocol) CurrentTree() []topo.NodeID {
 	out := make([]topo.NodeID, len(p.nodes))
 	for i, ns := range p.nodes {
+		if ns == nil {
+			out[i] = NoParent // owned by another shard
+			continue
+		}
 		out[i] = ns.parent
 	}
 	return out
 }
 
-// Routed reports how many nodes (excluding the sink) currently have parents.
+// Routed reports how many owned nodes (excluding the sink) currently have
+// parents. On a sharded instance this counts only the shard's own nodes;
+// sum across shards for the network-wide figure.
 func (p *Protocol) Routed() int {
 	n := 0
 	for i, ns := range p.nodes {
-		if i != int(topo.Sink) && ns.parent != NoParent {
+		if ns != nil && i != int(topo.Sink) && ns.parent != NoParent {
 			n++
 		}
 	}

@@ -1,0 +1,171 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"dophy/internal/rng"
+	"dophy/internal/sim"
+	"dophy/internal/topo"
+)
+
+// runWorkload drives a synthetic message-passing workload over n nodes
+// partitioned into k contiguous shards and returns one execution log per
+// node. Every node draws only from its own rng.Derive stream and logs only
+// on its owner shard, so the logs are a full observable trace: if they are
+// identical across shard counts, the executions were equivalent.
+func runWorkload(t *testing.T, seed uint64, n, k int, until sim.Time) []string {
+	t.Helper()
+	const lookahead = sim.Time(0.05)
+	owner := make([]topo.ShardID, n)
+	for i := range owner {
+		owner[i] = topo.ShardID(i * k / n)
+	}
+	e := New(Config{Shards: k, Lookahead: lookahead, Nodes: n})
+	defer e.Close()
+
+	logs := make([]strings.Builder, n)
+	streams := rng.NewStreams(seed, n)
+	var tick func(id topo.NodeID) sim.Handler
+	tick = func(id topo.NodeID) sim.Handler {
+		return func() {
+			sub := e.Sub(owner[id])
+			now := sub.Now()
+			u := streams[id].Float64()
+			fmt.Fprintf(&logs[id], "tick id=%d t=%.9f u=%.9f\n", id, now, u)
+			if next := now + 0.02 + sim.Time(u)*0.2; next < until {
+				sub.Schedule(next, tick(id))
+			}
+			if u < 0.6 { // message a pseudo-random peer with latency >= lookahead
+				peer := topo.NodeID(streams[id].Intn(n))
+				at := now + lookahead + sim.Time(streams[id].Float64())*0.1
+				e.Send(owner[id], at, id, owner[peer], func() {
+					v := streams[peer].Float64()
+					fmt.Fprintf(&logs[peer], "recv id=%d from=%d t=%.9f v=%.9f\n",
+						peer, id, e.Sub(owner[peer]).Now(), v)
+				})
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		e.Sub(owner[i]).Schedule(sim.Time(i)*0.001, tick(topo.NodeID(i)))
+	}
+	// Split the run to exercise repeated Run calls against the same engine.
+	e.Run(until / 2)
+	e.Run(until)
+
+	out := make([]string, n)
+	for i := range logs {
+		out[i] = logs[i].String()
+	}
+	return out
+}
+
+func TestDeterministicAcrossShardCounts(t *testing.T) {
+	const n = 12
+	ref := runWorkload(t, 77, n, 1, 30)
+	events := 0
+	for _, l := range ref {
+		events += strings.Count(l, "\n")
+	}
+	if events < 1000 {
+		t.Fatalf("workload too small to be meaningful: %d log lines", events)
+	}
+	for _, k := range []int{2, 3, 4, 8} {
+		got := runWorkload(t, 77, n, k, 30)
+		for id := range ref {
+			if got[id] != ref[id] {
+				t.Fatalf("k=%d: node %d log differs from unsharded run", k, id)
+			}
+		}
+	}
+}
+
+func TestSendDeliversAtExactTime(t *testing.T) {
+	e := New(Config{Shards: 2, Lookahead: 1, Nodes: 4})
+	defer e.Close()
+	var remote, local sim.Time
+	e.Sub(0).Schedule(0.5, func() {
+		e.Send(0, e.Sub(0).Now()+1, 0, 1, func() {
+			remote = e.Sub(1).Now()
+		})
+		// Same-shard send short-circuits but must still honour the time.
+		e.Send(0, 2.25, 0, 0, func() {
+			local = e.Sub(0).Now()
+		})
+	})
+	e.Run(10)
+	if remote != 1.5 || local != 2.25 {
+		t.Fatalf("arrivals remote=%v local=%v, want 1.5 and 2.25", remote, local)
+	}
+	if e.Exchanged() != 1 {
+		t.Fatalf("Exchanged = %d, want 1 (same-shard send must not hit the outbox)", e.Exchanged())
+	}
+}
+
+func TestLookaheadViolationPanics(t *testing.T) {
+	e := New(Config{Shards: 2, Lookahead: 1, Nodes: 2})
+	defer e.Close()
+	e.Sub(0).Schedule(0.5, func() {
+		// Arrival inside the current window: conservative contract broken.
+		e.Send(0, e.Sub(0).Now()+0.1, 0, 1, func() {})
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("lookahead violation did not panic")
+		}
+	}()
+	e.Run(10)
+}
+
+func TestIdleGapsSkipWindows(t *testing.T) {
+	e := New(Config{Shards: 2, Lookahead: 0.01, Nodes: 2})
+	defer e.Close()
+	fired := 0
+	e.Sub(0).Schedule(0, func() { fired++ })
+	e.Sub(1).Schedule(500, func() { fired++ })
+	e.Sub(0).Schedule(1000, func() { fired++ })
+	e.Run(2000)
+	if fired != 3 {
+		t.Fatalf("fired %d events, want 3", fired)
+	}
+	if w := e.Windows(); w > 6 {
+		t.Fatalf("executed %d windows for 3 isolated events — idle gaps not skipped", w)
+	}
+	for s := topo.ShardID(0); s < 2; s++ {
+		if now := e.Sub(s).Now(); now != 2000 {
+			t.Fatalf("shard %d clock = %v, want 2000", s, now)
+		}
+	}
+}
+
+func TestSingleShardIsPlainRun(t *testing.T) {
+	e := New(Config{Shards: 1, Nodes: 1})
+	defer e.Close()
+	var at []sim.Time
+	e.Sub(0).Schedule(1, func() { at = append(at, e.Sub(0).Now()) })
+	// Plain Run semantics: an event at exactly the horizon executes.
+	e.Sub(0).Schedule(5, func() { at = append(at, e.Sub(0).Now()) })
+	e.Run(5)
+	if len(at) != 2 || at[0] != 1 || at[1] != 5 {
+		t.Fatalf("events ran at %v, want [1 5]", at)
+	}
+	if e.Windows() != 0 {
+		t.Fatalf("single-shard run counted %d windows, want 0", e.Windows())
+	}
+}
+
+func TestProcessedSumsShards(t *testing.T) {
+	e := New(Config{Shards: 2, Lookahead: 0.5, Nodes: 2})
+	defer e.Close()
+	for i := 0; i < 5; i++ {
+		e.Sub(0).Schedule(sim.Time(i)+0.1, func() {})
+		e.Sub(1).Schedule(sim.Time(i)+0.2, func() {})
+	}
+	e.Run(sim.Time(math.Inf(1)))
+	if got := e.Processed(); got != 10 {
+		t.Fatalf("Processed = %d, want 10", got)
+	}
+}

@@ -222,6 +222,53 @@ func (e *Engine) RunAll() Time {
 	return e.Run(Time(math.Inf(1)))
 }
 
+// NextAt returns the scheduled time of the earliest pending event, or +Inf
+// when the queue is empty. Cancelled events are removed eagerly, so they
+// never shadow the true head. The shard barrier uses this to compute safe
+// lookahead horizons without popping.
+//
+//dophy:hotpath
+func (e *Engine) NextAt() Time {
+	if len(e.queue) == 0 {
+		return Time(math.Inf(1))
+	}
+	return e.queue[0].at
+}
+
+// RunBefore executes events strictly before horizon, then advances the
+// clock to horizon so successive windows observe monotone time. Events at
+// exactly horizon stay queued — the conservative-lookahead contract is that
+// a window [start, horizon) owns only the events inside it, while arrivals
+// injected at the barrier land at or after horizon. It returns the time at
+// which it stopped (horizon, unless Stop was called).
+//
+//dophy:hotpath
+func (e *Engine) RunBefore(horizon Time) Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at >= horizon {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.inv.checkHeap(e)
+		if next.cancel {
+			// Unreachable under eager Cancel removal; kept as a guard.
+			e.recycle(next)
+			continue
+		}
+		e.now = next.at
+		e.processed++
+		//dophy:allow hotpathalloc -- event dispatch: handlers are closures vetted at their creation sites, which live in annotated hot paths
+		next.fn()
+		e.recycle(next)
+	}
+	if !e.stopped && e.now < horizon {
+		e.now = horizon
+	}
+	return e.now
+}
+
 // Ticker repeatedly schedules fn every period, starting at the current time
 // plus phase. It returns a stop function. fn receives the tick index,
 // starting at 0. Calling stop cancels the already-scheduled next event, so

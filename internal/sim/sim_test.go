@@ -391,3 +391,112 @@ func BenchmarkScheduleRun(b *testing.B) {
 		e.RunAll()
 	}
 }
+
+func TestNextAtEmptyQueue(t *testing.T) {
+	e := New()
+	if got := e.NextAt(); !math.IsInf(float64(got), 1) {
+		t.Fatalf("NextAt on empty queue = %v, want +Inf", got)
+	}
+}
+
+func TestNextAtTracksHead(t *testing.T) {
+	e := New()
+	e.Schedule(5, func() {})
+	if got := e.NextAt(); got != 5 {
+		t.Fatalf("NextAt = %v, want 5", got)
+	}
+	e.Schedule(2, func() {})
+	if got := e.NextAt(); got != 2 {
+		t.Fatalf("NextAt after earlier schedule = %v, want 2", got)
+	}
+}
+
+func TestNextAtCancelReschedule(t *testing.T) {
+	e := New()
+	first := e.Schedule(1, func() {})
+	e.Schedule(3, func() {})
+	e.Cancel(first)
+	if got := e.NextAt(); got != 3 {
+		t.Fatalf("NextAt after cancelling head = %v, want 3", got)
+	}
+	// The cancelled event's struct is recycled; a new schedule must surface
+	// at the head with its new time, not any stale one.
+	e.Schedule(2, func() {})
+	if got := e.NextAt(); got != 2 {
+		t.Fatalf("NextAt after reschedule = %v, want 2", got)
+	}
+	e.Cancel(e.Schedule(0.5, func() {}))
+	if got := e.NextAt(); got != 2 {
+		t.Fatalf("NextAt after schedule+cancel = %v, want 2", got)
+	}
+	e.RunAll()
+	if got := e.NextAt(); !math.IsInf(float64(got), 1) {
+		t.Fatalf("NextAt after drain = %v, want +Inf", got)
+	}
+}
+
+func TestRunBeforeExcludesHorizon(t *testing.T) {
+	e := New()
+	var got []Time
+	for _, at := range []Time{1, 2, 3, 4} {
+		at := at
+		e.Schedule(at, func() { got = append(got, at) })
+	}
+	end := e.RunBefore(3)
+	if end != 3 {
+		t.Fatalf("RunBefore returned %v, want 3", end)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now after RunBefore = %v, want 3", e.Now())
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("RunBefore(3) ran %v, want [1 2]", got)
+	}
+	// An event at exactly the horizon stays queued for the next window.
+	if at := e.NextAt(); at != 3 {
+		t.Fatalf("NextAt after window = %v, want 3", at)
+	}
+	e.RunBefore(Time(math.Inf(1)))
+	if len(got) != 4 {
+		t.Fatalf("second window ran %d events total, want 4", len(got))
+	}
+}
+
+func TestRunBeforeAdvancesClockWhenIdle(t *testing.T) {
+	e := New()
+	e.RunBefore(7)
+	if e.Now() != 7 {
+		t.Fatalf("Now after idle RunBefore = %v, want 7", e.Now())
+	}
+	// Scheduling before the advanced clock must panic like any past schedule.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("schedule before advanced horizon did not panic")
+		}
+	}()
+	e.Schedule(6, func() {})
+}
+
+func TestRunBeforeCancelRescheduleInsideWindow(t *testing.T) {
+	e := New()
+	var fired []string
+	var late *Event
+	e.Schedule(1, func() {
+		// Cancel an event inside the window and replace it beyond the horizon.
+		e.Cancel(late)
+		e.Schedule(10, func() { fired = append(fired, "late") })
+		fired = append(fired, "first")
+	})
+	late = e.Schedule(2, func() { fired = append(fired, "dead") })
+	e.RunBefore(5)
+	if len(fired) != 1 || fired[0] != "first" {
+		t.Fatalf("window ran %v, want [first]", fired)
+	}
+	if at := e.NextAt(); at != 10 {
+		t.Fatalf("NextAt = %v, want 10", at)
+	}
+	e.RunAll()
+	if len(fired) != 2 || fired[1] != "late" {
+		t.Fatalf("drain ran %v, want [first late]", fired)
+	}
+}

@@ -26,9 +26,15 @@ const NoLink LinkIdx = -1
 type LinkTable struct {
 	n     int
 	links []Link    // table index -> link, canonical order
-	idx   []LinkIdx // flat n*n lookup: From*n+To -> table index, NoLink if no link
+	idx   []LinkIdx // flat n*n lookup: From*n+To -> table index; nil above flatIdxMaxNodes
 	off   []LinkIdx // len n+1: links[off[i]:off[i+1]] originate at node i
 }
+
+// flatIdxMaxNodes bounds the O(n^2) flat lookup array to 16 MiB of int32.
+// Beyond it (the 100k-node scale tiers) Index falls back to a binary search
+// of the node's sorted out-link span — same results, O(log degree) instead
+// of O(1), and degree is single digits in every layout we generate.
+const flatIdxMaxNodes = 2048
 
 // newLinkTable enumerates the links of sorted adjacency lists.
 func newLinkTable(neighbors [][]NodeID) *LinkTable {
@@ -40,16 +46,20 @@ func newLinkTable(neighbors [][]NodeID) *LinkTable {
 	t := &LinkTable{
 		n:     n,
 		links: make([]Link, 0, total),
-		idx:   make([]LinkIdx, n*n),
 		off:   make([]LinkIdx, n+1),
 	}
-	for i := range t.idx {
-		t.idx[i] = NoLink
+	if n <= flatIdxMaxNodes {
+		t.idx = make([]LinkIdx, n*n)
+		for i := range t.idx {
+			t.idx[i] = NoLink
+		}
 	}
 	for id, nbs := range neighbors {
 		t.off[id] = LinkIdx(len(t.links))
 		for _, nb := range nbs {
-			t.idx[id*n+int(nb)] = LinkIdx(len(t.links))
+			if t.idx != nil {
+				t.idx[id*n+int(nb)] = LinkIdx(len(t.links))
+			}
 			t.links = append(t.links, Link{From: NodeID(id), To: nb})
 		}
 	}
@@ -73,11 +83,29 @@ func (t *LinkTable) Link(i LinkIdx) Link { return t.links[i] }
 
 // Index returns l's table index, or NoLink when l is not a link of the
 // topology (including out-of-range node ids and self-links).
+//
+//dophy:hotpath
 func (t *LinkTable) Index(l Link) LinkIdx {
 	if l.From < 0 || l.To < 0 || int(l.From) >= t.n || int(l.To) >= t.n {
 		return NoLink
 	}
-	return t.idx[int(l.From)*t.n+int(l.To)]
+	if t.idx != nil {
+		return t.idx[int(l.From)*t.n+int(l.To)]
+	}
+	// Binary search of the From node's out-link span, which is sorted by To.
+	lo, hi := t.off[l.From], t.off[l.From+1]
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if t.links[mid].To < l.To {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < t.off[l.From+1] && t.links[lo].To == l.To {
+		return lo
+	}
+	return NoLink
 }
 
 // NodeSpan returns the half-open table index range [lo, hi) of the links

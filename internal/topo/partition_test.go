@@ -1,0 +1,144 @@
+package topo
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"dophy/internal/rng"
+)
+
+func TestPartitionBalancedAndDeterministic(t *testing.T) {
+	tp := Grid(15, 10, 2, 14, rng.New(3)) // 225 nodes
+	for _, k := range []int{1, 2, 4, 8} {
+		owner := tp.Partition(k)
+		if len(owner) != tp.N() {
+			t.Fatalf("k=%d: owner covers %d nodes, want %d", k, len(owner), tp.N())
+		}
+		counts := make([]int, k)
+		for _, s := range owner {
+			if s < 0 || int(s) >= k {
+				t.Fatalf("k=%d: shard id %d out of range", k, s)
+			}
+			counts[s]++
+		}
+		lo, hi := tp.N(), 0
+		for _, c := range counts {
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if hi-lo > 1 {
+			t.Fatalf("k=%d: unbalanced shard sizes %v", k, counts)
+		}
+		if again := tp.Partition(k); !reflect.DeepEqual(owner, again) {
+			t.Fatalf("k=%d: Partition is not deterministic", k)
+		}
+	}
+}
+
+func TestPartitionSingleShardAndClamp(t *testing.T) {
+	tp := Chain(3, 10, 15)
+	for _, s := range tp.Partition(1) {
+		if s != 0 {
+			t.Fatalf("k=1 assigned shard %d", s)
+		}
+	}
+	// More shards than nodes clamps to one node per shard.
+	owner := tp.Partition(10)
+	seen := map[ShardID]bool{}
+	for _, s := range owner {
+		if seen[s] {
+			t.Fatalf("k>n: shard %d owns two nodes", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestPartitionBandsAreSpatial(t *testing.T) {
+	// On a jitter-free wide grid, bands along X must give each shard an
+	// X-interval disjoint from the others.
+	tp := Grid(10, 10, 0, 14, rng.New(1))
+	owner := tp.Partition(5)
+	minX := make([]float64, 5)
+	maxX := make([]float64, 5)
+	for s := range minX {
+		minX[s], maxX[s] = math.Inf(1), math.Inf(-1)
+	}
+	for id, p := range tp.Pos {
+		s := owner[id]
+		minX[s] = math.Min(minX[s], p.X)
+		maxX[s] = math.Max(maxX[s], p.X)
+	}
+	for s := 1; s < 5; s++ {
+		if maxX[s-1] > minX[s] {
+			t.Fatalf("band %d (max %v) overlaps band %d (min %v)", s-1, maxX[s-1], s, minX[s])
+		}
+	}
+}
+
+func TestCrossShardClassification(t *testing.T) {
+	tp := Chain(6, 10, 15) // line: only adjacent nodes linked
+	owner := tp.Partition(2)
+	cross, cut := tp.LinkTable().CrossShard(owner)
+	wantCut := 0
+	for i, l := range tp.Links() {
+		want := owner[l.From] != owner[l.To]
+		if cross[i] != want {
+			t.Fatalf("link %v cross=%v, want %v", l, cross[i], want)
+		}
+		if want {
+			wantCut++
+		}
+	}
+	if cut != wantCut {
+		t.Fatalf("cut=%d, want %d", cut, wantCut)
+	}
+	// A chain split into two bands has exactly one cut adjacency (2 directed links).
+	if cut != 2 {
+		t.Fatalf("chain cut=%d, want 2", cut)
+	}
+}
+
+func TestBucketedBuildMatchesPairwise(t *testing.T) {
+	r := rng.New(11)
+	for _, tc := range []struct {
+		name string
+		pos  []Point
+		rng  float64
+	}{
+		{"grid", Grid(23, 10, 3, 14, r).Pos, 14},
+		{"uniform", Uniform(400, 180, 140, 16, r).Pos, 16},
+		{"corridor", Corridor(250, 600, 25, 18, r).Pos, 18},
+	} {
+		got := neighborsBucketed(tc.pos, tc.rng)
+		want := neighborsPairwise(tc.pos, tc.rng)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: bucketed adjacency differs from pairwise", tc.name)
+		}
+	}
+}
+
+func TestSparseLinkTableIndexMatchesFlat(t *testing.T) {
+	tp := Grid(9, 10, 2, 14, rng.New(5))
+	flat := tp.LinkTable()
+	if flat.idx == nil {
+		t.Fatal("small table should use the flat index")
+	}
+	sparse := newLinkTable(tp.neighbors)
+	sparse.idx = nil
+	for from := NodeID(0); int(from) < tp.N(); from++ {
+		for to := NodeID(0); int(to) < tp.N(); to++ {
+			l := Link{From: from, To: to}
+			if got, want := sparse.Index(l), flat.Index(l); got != want {
+				t.Fatalf("Index(%v): sparse=%d flat=%d", l, got, want)
+			}
+		}
+	}
+	if got := sparse.Index(Link{From: -1, To: 2}); got != NoLink {
+		t.Fatalf("out-of-range Index = %d, want NoLink", got)
+	}
+}

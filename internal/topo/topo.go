@@ -64,26 +64,74 @@ func (t *Topology) Distance(a, b NodeID) float64 {
 	return Dist(t.Pos[a], t.Pos[b])
 }
 
+// bucketedBuildMinNodes is the node count above which build switches from
+// the O(n^2) pairwise scan to the commRange-sized cell index. Both paths
+// perform the identical Dist <= commRange comparisons and sort each list,
+// so the resulting adjacency is byte-identical; the threshold only trades
+// obviousness for asymptotics once n^2 starts to hurt.
+const bucketedBuildMinNodes = 2048
+
 // build computes adjacency lists from positions and range.
 func build(pos []Point, commRange float64) *Topology {
 	t := &Topology{Pos: pos, Range: commRange}
-	n := len(pos)
-	t.neighbors = make([][]NodeID, n)
-	// O(n^2) is fine at simulator scales (<= a few thousand nodes) and keeps
-	// the code obviously correct; a grid index would only matter beyond that.
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			if Dist(pos[i], pos[j]) <= commRange {
-				t.neighbors[i] = append(t.neighbors[i], NodeID(j))
-				t.neighbors[j] = append(t.neighbors[j], NodeID(i))
-			}
-		}
-	}
-	for i := range t.neighbors {
-		sort.Slice(t.neighbors[i], func(a, b int) bool { return t.neighbors[i][a] < t.neighbors[i][b] })
+	if len(pos) > bucketedBuildMinNodes && commRange > 0 {
+		t.neighbors = neighborsBucketed(pos, commRange)
+	} else {
+		t.neighbors = neighborsPairwise(pos, commRange)
 	}
 	t.lt = newLinkTable(t.neighbors)
 	return t
+}
+
+// neighborsPairwise is the O(n^2) reference adjacency construction.
+func neighborsPairwise(pos []Point, commRange float64) [][]NodeID {
+	n := len(pos)
+	neighbors := make([][]NodeID, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if Dist(pos[i], pos[j]) <= commRange {
+				neighbors[i] = append(neighbors[i], NodeID(j))
+				neighbors[j] = append(neighbors[j], NodeID(i))
+			}
+		}
+	}
+	for i := range neighbors {
+		sort.Slice(neighbors[i], func(a, b int) bool { return neighbors[i][a] < neighbors[i][b] })
+	}
+	return neighbors
+}
+
+// neighborsBucketed computes the same adjacency as neighborsPairwise in
+// O(n * density) by hashing nodes into commRange-sized cells: any pair
+// within range lives in the same or an adjacent cell. Candidates are
+// distance-checked with the same Dist comparison (squaring is sign-exact,
+// so Dist(a,b) == Dist(b,a) bit-for-bit) and each list is sorted, so the
+// output is byte-identical to the pairwise scan.
+func neighborsBucketed(pos []Point, commRange float64) [][]NodeID {
+	type cellKey struct{ x, y int }
+	cells := make(map[cellKey][]NodeID, len(pos))
+	key := func(p Point) cellKey {
+		return cellKey{int(math.Floor(p.X / commRange)), int(math.Floor(p.Y / commRange))}
+	}
+	for i, p := range pos {
+		c := key(p)
+		cells[c] = append(cells[c], NodeID(i))
+	}
+	neighbors := make([][]NodeID, len(pos))
+	for i, p := range pos {
+		c := key(p)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range cells[cellKey{c.x + dx, c.y + dy}] {
+					if j != NodeID(i) && Dist(p, pos[j]) <= commRange {
+						neighbors[i] = append(neighbors[i], j)
+					}
+				}
+			}
+		}
+		sort.Slice(neighbors[i], func(a, b int) bool { return neighbors[i][a] < neighbors[i][b] })
+	}
+	return neighbors
 }
 
 // FromPoints builds a topology from explicit positions (index 0 is the

@@ -139,6 +139,34 @@ func (e *Epoch) DeliveryRatio() float64 {
 	return float64(e.Delivered) / float64(e.Generated)
 }
 
+// CutMerged snapshots and resets several recorders into one combined
+// Epoch. The sharded engine gives each shard a private recorder (so the
+// hot-path counters never cross goroutines); every counter is a plain sum,
+// so the merge is independent of shard count and order. All recorders must
+// share the same link table.
+func CutMerged(recs []*Recorder) *Epoch {
+	if len(recs) == 0 {
+		panic("trace: CutMerged needs at least one recorder")
+	}
+	e := recs[0].Cut()
+	for _, r := range recs[1:] {
+		if r.lt != e.Table {
+			panic("trace: CutMerged recorders disagree on the link table")
+		}
+		part := r.Cut()
+		for i := range e.Counts {
+			e.Counts[i].Attempts += part.Counts[i].Attempts
+			e.Counts[i].Successes += part.Counts[i].Successes
+			e.Counts[i].DataAttempts += part.Counts[i].DataAttempts
+		}
+		e.Generated += part.Generated
+		e.Delivered += part.Delivered
+		e.Dropped += part.Dropped
+		e.ParentChanges += part.ParentChanges
+	}
+	return e
+}
+
 // Cut snapshots the current counters into an Epoch and zeroes the recorder
 // in place for the next one — the snapshot is the only per-epoch
 // allocation.
