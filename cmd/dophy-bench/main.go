@@ -20,6 +20,8 @@
 //	                            # -max-wall-regress / -max-allocs-regress /
 //	                            # -max-eventsps-regress; allocs gate needs
 //	                            # -parallel 1 baselines on both sides)
+//
+//dophy:concurrency-boundary -- experiment-level fan-out; each worker runs an independent scenario and results are keyed by experiment id
 package main
 
 import (

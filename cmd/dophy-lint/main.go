@@ -19,7 +19,9 @@
 // Output modes: the default is file:line:col text; -json emits a JSON
 // array of diagnostics; -github emits GitHub Actions workflow annotations
 // (::error file=...) so violations surface inline on pull requests.
-// -hotpaths prints the //dophy:hotpath inventory instead of linting.
+// -hotpaths prints the //dophy:hotpath inventory instead of linting;
+// -write-inventory regenerates the committed hotpath-inventory.txt from the
+// same data, so CI can fail when the golden drifts from the annotations.
 package main
 
 import (
@@ -44,6 +46,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 	github := flag.Bool("github", false, "emit GitHub Actions ::error annotations alongside the text output")
 	hotpaths := flag.Bool("hotpaths", false, "print the //dophy:hotpath function inventory and exit")
+	writeInventory := flag.Bool("write-inventory", false, "rewrite hotpath-inventory.txt at the module root and exit")
 	flag.Parse()
 
 	dir := *root
@@ -65,7 +68,22 @@ func main() {
 	}
 
 	if *hotpaths {
-		printHotPaths(dir)
+		for _, line := range hotPathLines(dir) {
+			fmt.Println(line)
+		}
+		return
+	}
+	if *writeInventory {
+		path := filepath.Join(dir, "hotpath-inventory.txt")
+		var buf strings.Builder
+		for _, line := range hotPathLines(dir) {
+			buf.WriteString(line)
+			buf.WriteByte('\n')
+		}
+		if err := os.WriteFile(path, []byte(buf.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dophy-lint:", err)
+			os.Exit(2)
+		}
 		return
 	}
 
@@ -184,10 +202,11 @@ func emitGitHub(root string, d lint.Diagnostic) {
 	fmt.Printf("::error file=%s,line=%d,col=%d::%s\n", file, d.Pos.Line, d.Pos.Column, msg)
 }
 
-// printHotPaths emits the union of //dophy:hotpath functions over every tag
-// set, one per line, sorted — the source of the committed
-// hotpath-inventory.txt golden.
-func printHotPaths(dir string) {
+// hotPathLines returns the union of //dophy:hotpath functions over every
+// tag set, one per line, sorted — the source of the committed
+// hotpath-inventory.txt golden (-hotpaths prints it, -write-inventory
+// rewrites the file).
+func hotPathLines(dir string) []string {
 	seen := map[string]bool{}
 	var all []string
 	for _, tags := range tagSets {
@@ -206,9 +225,7 @@ func printHotPaths(dir string) {
 	// Inventory is sorted per pass; the union of two sorted lists needs one
 	// more sort to interleave tag-gated entries correctly.
 	sort.Strings(all)
-	for _, line := range all {
-		fmt.Println(line)
-	}
+	return all
 }
 
 // findModuleRoot walks up from the working directory to the enclosing go.mod.

@@ -32,6 +32,21 @@ func goldenDiags() []lint.Diagnostic {
 			Rule: "idxdomain",
 			Msg:  `message with "quotes" & <angle brackets> survives encoding`,
 		},
+		{
+			Pos:  token.Position{Filename: "internal/sim/shard/shard.go", Line: 118, Column: 9},
+			Rule: "ownercross",
+			Msg:  "shard-owned field subs must be accessed through a typed element index (topo.ShardID or topo.NodeID) in window code",
+		},
+		{
+			Pos:  token.Position{Filename: "internal/experiment/shardsession.go", Line: 105, Column: 2},
+			Rule: "sendown",
+			Msg:  "c is used after its ownership was transferred away (//dophy:transfers on line 104): the sender must not touch a sent value",
+		},
+		{
+			Pos:  token.Position{Filename: "internal/sim/shard/shard.go", Line: 203, Column: 1},
+			Rule: "barrierorder",
+			Msg:  "//dophy:barrier function deliver is reachable from window code: a barrier cannot run inside the window it closes",
+		},
 	}
 }
 

@@ -66,6 +66,8 @@ type ShardStats struct {
 // source shard. It implements routing.Fabric and collect.Fabric. Each
 // shard gets its own instance so the hop-carrier pool below is
 // single-writer.
+//
+//dophy:owner shard
 type shardFabric struct {
 	s    *ShardedSession
 	src  topo.ShardID
@@ -75,7 +77,12 @@ type shardFabric struct {
 // hopCarrier is a pooled continuation for same-shard packet arrivals — the
 // sharded counterpart of collect's hopCont. Cross-shard arrivals allocate a
 // closure instead: they are the cut fraction, and pooling across shards
-// would make the free lists multi-writer.
+// would make the free lists multi-writer. The pool hand-off in run is a
+// //dophy:transfers point: once a carrier is back on the free list the
+// sendown rule forbids touching it, which is what makes the pooled
+// recycling provably safe inside the concurrency boundary.
+//
+//dophy:owner shard
 type hopCarrier struct {
 	f  *shardFabric
 	to topo.NodeID
@@ -83,10 +90,17 @@ type hopCarrier struct {
 	fn sim.Handler
 }
 
+// run is the carrier's continuation: it reads its payload into locals,
+// returns itself to the pool, and only then delivers — the canonical
+// hand-off shape the sendown rule enforces (no field of c may be touched
+// after the pool append).
+//
 //dophy:hotpath
+//dophy:window
 func (c *hopCarrier) run() {
 	f, to, j := c.f, c.to, c.j
 	c.j = nil
+	//dophy:transfers -- c is back on the free list; the next carrier() owns it
 	f.free = append(f.free, c)
 	f.s.nws[f.src].Arrive(to, j)
 }
@@ -113,22 +127,25 @@ func (f *shardFabric) carrier(to topo.NodeID, j *collect.PacketJourney) *hopCarr
 // the current window.
 //
 //dophy:hotpath
+//dophy:window
 func (f *shardFabric) DeliverData(from, to topo.NodeID, at sim.Time, j *collect.PacketJourney) {
 	s := f.s
 	dst := s.owner[to]
 	if dst == f.src {
+		//dophy:transfers -- the pooled carrier now owns j until it lands
 		s.eng.Sub(f.src).Schedule(at, f.carrier(to, j).fn)
 		return
 	}
 	nw := s.nws[dst]
 	//dophy:allow hotpathalloc -- cross-shard forward: the closure carries the journey over the barrier; cut traffic only
-	s.eng.Send(f.src, at, from, dst, func() { nw.Arrive(to, j) })
+	s.eng.Send(f.src, at, from, dst, func() { nw.Arrive(to, j) }) //dophy:transfers -- j rides the outbox to shard dst; this shard may not touch it again
 }
 
 // DeliverBeacon applies a received beacon on the receiver's owning shard
 // after the configured beacon latency.
 //
 //dophy:hotpath
+//dophy:window
 func (f *shardFabric) DeliverBeacon(from, to topo.NodeID, seq int64, advertisedETX float64) {
 	s := f.s
 	dst := s.owner[to]
@@ -151,33 +168,37 @@ func (f *shardFabric) DeliverBeacon(from, to topo.NodeID, seq int64, advertisedE
 // coordinator. Windows partition virtual time, so the concatenation of
 // per-window flushes is itself globally sorted and identical at any K.
 type ShardedSession struct {
-	sc        Scenario
-	sp        ShardSpec
-	lookahead sim.Time
-	tp        *topo.Topology
-	lt        *topo.LinkTable
-	eng       *shard.Engine
-	owner     []topo.ShardID
-	cutLinks  int
-	recs      []*trace.Recorder
-	protos    []*routing.Protocol
-	nws       []*collect.Network
-	fabs      []*shardFabric
-	bufs      [][]*collect.PacketJourney // journeys completed since the last flush, per shard
-	fmerge    []*collect.PacketJourney   // flush merge scratch
+	sc        Scenario        //dophy:owner immutable
+	sp        ShardSpec       //dophy:owner immutable
+	lookahead sim.Time        //dophy:owner immutable
+	tp        *topo.Topology  //dophy:owner immutable
+	lt        *topo.LinkTable //dophy:owner immutable
+	eng       *shard.Engine   //dophy:owner immutable -- the coordinator handle; windowing happens inside it
+	owner     []topo.ShardID  //dophy:owner immutable -- topo.Partition's node->shard map
+	cutLinks  int             //dophy:owner immutable
+	// Per-shard stacks: window code reaches them only through a typed
+	// ShardID index, so shards provably never alias each other's state.
+	recs   []*trace.Recorder          //dophy:owner shard
+	protos []*routing.Protocol        //dophy:owner shard
+	nws    []*collect.Network         //dophy:owner shard
+	fabs   []*shardFabric             //dophy:owner shard
+	bufs   [][]*collect.PacketJourney //dophy:owner shard -- journeys completed since the last flush, per shard
+	fmerge []*collect.PacketJourney   //dophy:owner engine -- flush merge scratch
 
-	dophyEng *core.Dophy
-	dophyNA  *core.Dophy
-	raw      *pathrecord.Recorder
-	compact  *pathrecord.Recorder
-	huff     *pathrecord.Recorder
-	obsCol   *epochobs.Collector
-	mincEst  *minc.Estimator
-	lsqEst   *lsq.Estimator
+	// The estimator bank runs on the coordinator only, fed sequentially at
+	// window barriers.
+	dophyEng *core.Dophy          //dophy:owner engine
+	dophyNA  *core.Dophy          //dophy:owner engine
+	raw      *pathrecord.Recorder //dophy:owner engine
+	compact  *pathrecord.Recorder //dophy:owner engine
+	huff     *pathrecord.Recorder //dophy:owner engine
+	obsCol   *epochobs.Collector  //dophy:owner engine
+	mincEst  *minc.Estimator      //dophy:owner engine
+	lsqEst   *lsq.Estimator       //dophy:owner engine
 
-	perPacket      []PacketSample
-	epoch          int
-	lastQueueDrops int64
+	perPacket      []PacketSample //dophy:owner engine
+	epoch          int            //dophy:owner engine
+	lastQueueDrops int64          //dophy:owner engine
 }
 
 // NewShardedSession partitions the scenario's topology, builds one
@@ -253,10 +274,8 @@ func NewShardedSession(sc Scenario, sp ShardSpec) *ShardedSession {
 			routing.ShardHooks{Owned: owned, PerNode: streams, Fabric: fab})
 		nw := collect.NewSharded(sc.Collect, sub, tp, arq, proto, root.Split(), rec,
 			collect.ShardHooks{Owned: owned, PerNode: streams, Fabric: fab})
-		shardIdx := k
-		nw.Subscribe(func(j *collect.PacketJourney) {
-			s.bufs[shardIdx] = append(s.bufs[shardIdx], j)
-		})
+		shardIdx := topo.ShardID(k)
+		nw.Subscribe(func(j *collect.PacketJourney) { s.bufferJourney(shardIdx, j) })
 		s.recs[k], s.protos[k], s.nws[k], s.fabs[k] = rec, proto, nw, fab
 	}
 
@@ -303,11 +322,24 @@ func NewShardedSession(sc Scenario, sp ShardSpec) *ShardedSession {
 	return s
 }
 
+// bufferJourney parks a journey completed by shard k until the next flush.
+// It runs as collect's completion subscriber inside k's window, which the
+// annotation declares — subscriber dispatch is a function value the call
+// graph cannot see through.
+//
+//dophy:window
+func (s *ShardedSession) bufferJourney(k topo.ShardID, j *collect.PacketJourney) {
+	//dophy:transfers -- j is parked for the coordinator; the shard is done with it
+	s.bufs[k] = append(s.bufs[k], j)
+}
+
 // flush drains every shard's completed-journey buffer in (Completed,
 // Origin, Seq) order — a pure function of simulation behaviour, so the
 // global feed sequence is identical at every shard count — and feeds the
 // estimators. Runs on the coordinator: at window barriers for K > 1, after
 // Run returns for K == 1.
+//
+//dophy:barrier
 func (s *ShardedSession) flush() {
 	m := s.fmerge[:0]
 	for k := range s.bufs {
@@ -371,7 +403,10 @@ func (s *ShardedSession) feed(j *collect.PacketJourney) {
 // Topology returns the built topology.
 func (s *ShardedSession) Topology() *topo.Topology { return s.tp }
 
-// BeaconsSent sums the control-plane cost over all shards.
+// BeaconsSent sums the control-plane cost over all shards. Like every
+// cross-shard reader below, it must only run with the workers parked.
+//
+//dophy:barrier
 func (s *ShardedSession) BeaconsSent() int64 {
 	var total int64
 	for _, p := range s.protos {
@@ -384,6 +419,8 @@ func (s *ShardedSession) BeaconsSent() int64 {
 func (s *ShardedSession) Events() uint64 { return s.eng.Processed() }
 
 // Routed counts nodes (excluding the sink) that currently have a parent.
+//
+//dophy:barrier
 func (s *ShardedSession) Routed() int {
 	n := 0
 	for _, p := range s.protos {
@@ -405,6 +442,8 @@ func (s *ShardedSession) Stats() ShardStats {
 }
 
 // queueDrops sums congestion losses over all shards.
+//
+//dophy:barrier
 func (s *ShardedSession) queueDrops() int64 {
 	var total int64
 	for _, nw := range s.nws {
@@ -414,7 +453,10 @@ func (s *ShardedSession) queueDrops() int64 {
 }
 
 // RunEpoch advances the simulation one epoch and harvests every attached
-// scheme, mirroring Session.RunEpoch.
+// scheme, mirroring Session.RunEpoch. It drains per-shard recorders, so it
+// runs strictly between Run windows.
+//
+//dophy:barrier
 func (s *ShardedSession) RunEpoch() *EpochOutcome {
 	s.epoch++
 	s.eng.Run(s.sc.Warmup + sim.Time(s.epoch)*s.sc.EpochLen)

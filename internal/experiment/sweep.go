@@ -1,3 +1,11 @@
+// This file is the parallel sweep engine. Every table/figure runner is a
+// sweep over independent scenario points, and each point is one strictly
+// single-threaded sim.Engine run (races impossible by construction), so
+// parallelism lands purely at the scenario level: points fan out across a
+// bounded worker pool and results land in input order, which keeps every
+// table byte-identical to a sequential execution for the same seed.
+//
+//dophy:concurrency-boundary -- scenario-level fan-out over independent runs; results land in input order and workers share only atomics
 package experiment
 
 import (
@@ -6,13 +14,6 @@ import (
 	"sync"
 	"sync/atomic"
 )
-
-// This file is the parallel sweep engine. Every table/figure runner is a
-// sweep over independent scenario points, and each point is one strictly
-// single-threaded sim.Engine run (races impossible by construction), so
-// parallelism lands purely at the scenario level: points fan out across a
-// bounded worker pool and results land in input order, which keeps every
-// table byte-identical to a sequential execution for the same seed.
 
 // sweepWorkers caps scenario-level parallelism; 0 means runtime.NumCPU().
 var sweepWorkers atomic.Int32

@@ -39,10 +39,11 @@ const (
 	DomNodeID
 	DomNbrOff
 	DomEpoch
+	DomShard
 	DomMixed
 )
 
-var domainNames = [...]string{"untracked", "link-index", "node-id", "neighbor-offset", "epoch", "mixed"}
+var domainNames = [...]string{"untracked", "link-index", "node-id", "neighbor-offset", "epoch", "shard-id", "mixed"}
 
 func (d Domain) String() string { return domainNames[d] }
 
@@ -146,6 +147,8 @@ func (m *Module) typeDomain(t types.Type) Domain {
 		return DomLinkIdx
 	case "NodeID":
 		return DomNodeID
+	case "ShardID":
+		return DomShard
 	}
 	return DomNone
 }

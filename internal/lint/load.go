@@ -86,6 +86,12 @@ type Module struct {
 	// enums caches the per-named-type member sets the exhaustive rule
 	// derives from package scopes (domain_rules.go).
 	enums map[*types.Named][]enumMember
+	// conInfo/conDiags/conDone cache the concurrency-contract layer
+	// (contracts.go): parsed annotations and the whole-module diagnostics of
+	// the ownercross/sendown/barrierorder rules, both pragma-independent.
+	conInfo  *contractInfo
+	conDiags []contractDiag
+	conDone  bool
 }
 
 // LoadConfig parameterises module loading.

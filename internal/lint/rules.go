@@ -301,43 +301,37 @@ func sortedAfter(pkg *Package, fnBody *ast.BlockStmt, pos token.Pos, target type
 }
 
 // ---------------------------------------------------------------------------
-// Rule nogo: goroutines live only in sanctioned concurrency boundaries.
+// Rule nogo: goroutines live only in declared concurrency boundaries.
 //
-// A single sim.Engine run is strictly sequential by design; parallelism
-// enters exclusively at the scenario level (internal/experiment/sweep.go),
-// inside the conservative-lookahead shard engine (internal/sim/shard, whose
-// window barrier confines all cross-goroutine traffic), and in command-line
-// front-ends. A goroutine anywhere else either races the simulation or
-// makes event order scheduling-dependent.
+// A single sim.Engine run is strictly sequential by design. A file may opt
+// into spawning goroutines by declaring a //dophy:concurrency-boundary
+// pragma (contracts.go) — which simultaneously opts the whole package into
+// the ownercross/sendown/barrierorder contract rules, so "goroutines
+// allowed" always means "sharing discipline proven". A goroutine anywhere
+// else either races the simulation or makes event order
+// scheduling-dependent. The rule also polices boundary hygiene: a pragma
+// without a justification, or in a file that spawns nothing, is itself a
+// diagnostic.
 // ---------------------------------------------------------------------------
-
-// goSanctioned reports whether the package is a sanctioned concurrency
-// boundary where goroutines are allowed. Shared by nogo and determflow so
-// the two rules cannot drift apart.
-func goSanctioned(pkg *Package) bool {
-	return pkg.RelPath == "cmd" || strings.HasPrefix(pkg.RelPath, "cmd/") ||
-		pkg.RelPath == "internal/sim/shard"
-}
 
 type ruleGoStmt struct{}
 
 func (ruleGoStmt) Name() string { return "nogo" }
 
 func (ruleGoStmt) Check(m *Module, pkg *Package, report func(pos token.Pos, format string, args ...any)) {
-	if goSanctioned(pkg) {
-		return
-	}
+	c := m.contractInfo()
 	for _, file := range pkg.Files {
-		if file.Name == "internal/experiment/sweep.go" {
-			continue
+		if c.boundary[file] != nil {
+			continue // sanctioned; the contract rules take over from here
 		}
 		ast.Inspect(file.AST, func(n ast.Node) bool {
 			if g, ok := n.(*ast.GoStmt); ok {
-				report(g.Pos(), "goroutine outside internal/experiment/sweep.go, internal/sim/shard and cmd/: simulations are single-threaded by construction")
+				report(g.Pos(), "goroutine outside a //dophy:concurrency-boundary file: simulations are single-threaded by construction")
 			}
 			return true
 		})
 	}
+	m.replayContractDiags("nogo", pkg, report)
 }
 
 // ---------------------------------------------------------------------------

@@ -117,7 +117,6 @@ func (m *Module) determDiags() []hotDiag {
 	var diags []hotDiag
 	allowed := func(pos token.Pos) bool { return idx.allowedAt(determRuleName, pos) }
 	inRNG := func(rel string) bool { return rel == "internal/rng" || strings.HasPrefix(rel, "internal/rng/") }
-	isCmd := func(rel string) bool { return rel == "cmd" || strings.HasPrefix(rel, "cmd/") }
 
 	// Deterministic node order for stable diagnostics and taint chains.
 	nodes := cg.Funcs()
@@ -195,13 +194,13 @@ func (m *Module) determDiags() []hotDiag {
 				// propagates taint across them once sources are known.
 			}
 		}
-		// Goroutine spawns reorder observable events; the sweep engine's
-		// are the sanctioned scenario-level parallelism (deterministic
-		// merge), the shard engine's window workers exchange state only at
-		// barriers with a shard-count-invariant merge order, and cmd/
-		// front-ends never feed sim state.
-		if n.Decl.Body != nil && n.File.Name != "internal/experiment/sweep.go" &&
-			!isCmd(n.Pkg.RelPath) && n.Pkg.RelPath != "internal/sim/shard" {
+		// Goroutine spawns reorder observable events — except inside a
+		// declared //dophy:concurrency-boundary file, whose sharing
+		// discipline the contract rules (ownercross/sendown/barrierorder)
+		// prove separately: the sweep pool merges deterministically, and the
+		// shard engine's window workers exchange state only at barriers with
+		// a shard-count-invariant merge order.
+		if n.Decl.Body != nil && m.contractInfo().boundary[n.File] == nil {
 			ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
 				if g, ok := x.(*ast.GoStmt); ok && !allowed(g.Pos()) {
 					mark(n, &taintInfo{desc: "go statement", pos: g.Pos()})

@@ -1,4 +1,8 @@
-// Command tool shows that cmd/ is exempt from nogo and nowalltime.
+// Command tool opts into goroutines the same way every package does now:
+// a file-scoped //dophy:concurrency-boundary pragma (cmd/ keeps only its
+// nowalltime exemption for free).
+//
+//dophy:concurrency-boundary -- CLI-side fan-out; the goroutine is joined before exit
 package main
 
 import (

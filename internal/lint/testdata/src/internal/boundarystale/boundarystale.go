@@ -1,0 +1,11 @@
+// Package boundarystale exercises the boundary pragma's own hygiene:
+// a boundary needs a justification.
+//
+//dophy:concurrency-boundary // want "has no justification"
+package boundarystale
+
+// Spawn is sanctioned by the (malformed) boundary pragma above, so the
+// only diagnostic in this file is the missing justification.
+func Spawn(f func()) {
+	go f()
+}

@@ -1,0 +1,10 @@
+// This file declares a boundary but spawns nothing: the pragma is dead
+// weight and must be deleted, like any stale waiver.
+//
+//dophy:concurrency-boundary -- exercises the stale-boundary diagnostic // want "spawns no goroutines"
+package boundarystale
+
+// Sequential has no go statement.
+func Sequential(f func()) {
+	f()
+}

@@ -19,6 +19,14 @@ import "math"
 
 // Source is a xoshiro256** generator. The zero value is invalid; construct
 // with New or Split.
+//
+// A Source is single-consumer state: every draw mutates it, so under the
+// sharded engine each stream is confined to the shard that owns its node
+// (rng.Derive hands out disjoint per-node streams). The annotation lets the
+// contract rules flag any coordinator-side field that would smuggle a
+// stream across the shard boundary.
+//
+//dophy:owner shard
 type Source struct {
 	s [4]uint64
 }

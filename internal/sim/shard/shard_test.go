@@ -3,6 +3,7 @@ package shard
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"testing"
 
@@ -168,4 +169,61 @@ func TestProcessedSumsShards(t *testing.T) {
 	if got := e.Processed(); got != 10 {
 		t.Fatalf("Processed = %d, want 10", got)
 	}
+}
+
+// FuzzMergeKeyTotalOrder pins the barrier merge key (arrival time, origin
+// node, per-origin seq) as a total order over any outbox content: sorting
+// any shard-grouped concatenation of the same message multiset yields one
+// merged order, so the delivery schedule is independent of the shard count
+// and of the order outboxes are drained. A regression here would silently
+// break TestShardedByteDeterminism on barrier-heavy workloads.
+func FuzzMergeKeyTotalOrder(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{1, 1, 1, 1, 1, 1})
+	f.Add([]byte{9, 0, 9, 0, 7, 7, 7, 2, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode a message multiset: coarse timestamps force (at) ties, and
+		// per-origin counters mirror how Send stamps seqs, so the full
+		// (at, origin, seq) key is unique by construction.
+		var msgs []msg
+		seqs := map[topo.NodeID]uint64{}
+		for i := 0; i+1 < len(data); i += 2 {
+			origin := topo.NodeID(data[i] % 7)
+			at := sim.Time(data[i+1]%5) / 4
+			msgs = append(msgs, msg{at: at, origin: origin, seq: seqs[origin]})
+			seqs[origin]++
+		}
+
+		// merge mimics deliver: group each message into its origin's outbox
+		// under a k-shard owner map, concatenate the outboxes in shard
+		// order, and sort by the merge key.
+		merge := func(k int) []msg {
+			out := make([][]msg, k)
+			for _, mm := range msgs {
+				s := int(mm.origin) % k
+				out[s] = append(out[s], mm)
+			}
+			var m []msg
+			for s := range out {
+				m = append(m, out[s]...)
+			}
+			sort.Slice(m, func(i, j int) bool { return m[i].before(m[j]) })
+			return m
+		}
+
+		want := merge(1)
+		for i := 1; i < len(want); i++ {
+			if !want[i-1].before(want[i]) || want[i].before(want[i-1]) {
+				t.Fatalf("merge order not strict at %d: %+v vs %+v", i, want[i-1], want[i])
+			}
+		}
+		for _, k := range []int{2, 3, 4, 5} {
+			got := merge(k)
+			for i := range want {
+				if got[i].at != want[i].at || got[i].origin != want[i].origin || got[i].seq != want[i].seq {
+					t.Fatalf("k=%d: merge order diverges at %d: got %+v want %+v", k, i, got[i], want[i])
+				}
+			}
+		}
+	})
 }

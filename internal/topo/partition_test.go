@@ -142,3 +142,49 @@ func TestSparseLinkTableIndexMatchesFlat(t *testing.T) {
 		t.Fatalf("out-of-range Index = %d, want NoLink", got)
 	}
 }
+
+func TestPartitionDegenerateCases(t *testing.T) {
+	tp := Chain(5, 10, 15)
+	n := tp.N()
+
+	// More shards than nodes clamps to n: every node becomes its own
+	// single-node stripe and the shard ids stay densely numbered.
+	for _, k := range []int{n, n + 1, 3 * n} {
+		owner := tp.Partition(k)
+		perShard := make([]int, n)
+		for id, s := range owner {
+			if s < 0 || int(s) >= n {
+				t.Fatalf("k=%d: node %d got shard %d, want [0,%d)", k, id, s, n)
+			}
+			perShard[s]++
+		}
+		for s, c := range perShard {
+			if c != 1 {
+				t.Fatalf("k=%d: shard %d owns %d nodes, want exactly 1", k, s, c)
+			}
+		}
+	}
+
+	// Single-node stripes on a chain cut every adjacency: the cut is the
+	// whole directed link set.
+	cross, cut := tp.LinkTable().CrossShard(tp.Partition(n))
+	if cut != len(tp.Links()) {
+		t.Fatalf("n-way chain cut=%d, want all %d directed links", cut, len(tp.Links()))
+	}
+	for i, c := range cross {
+		if !c {
+			t.Fatalf("n-way chain: link %d not classified cross-shard", i)
+		}
+	}
+
+	// One shard: a single band, so the cut is empty and no link is cross.
+	cross, cut = tp.LinkTable().CrossShard(tp.Partition(1))
+	if cut != 0 {
+		t.Fatalf("k=1 cut=%d, want 0", cut)
+	}
+	for i, c := range cross {
+		if c {
+			t.Fatalf("k=1: link %d classified cross-shard", i)
+		}
+	}
+}
