@@ -13,12 +13,15 @@
 //	dophy-bench -list           # list experiment ids
 //	dophy-bench -exp S0 -shards 4
 //	                            # scale-tier experiment on the sharded engine
+//	dophy-bench -pipeline       # overlap epoch simulation with estimation
+//	dophy-bench -incremental    # dirty-link incremental MINC/LSQ re-estimation
 //	dophy-bench -compare BENCH_linux-amd64.json
 //	                            # rerun and exit nonzero on a perf regression
-//	                            # (>15% wall-clock, >10% allocs/op or >20%
-//	                            # events/sec per experiment; tune with
-//	                            # -max-wall-regress / -max-allocs-regress /
-//	                            # -max-eventsps-regress; allocs gate needs
+//	                            # (>15% wall-clock, >10% allocs/op, >20%
+//	                            # events/sec or >25% estimation-stage seconds
+//	                            # per experiment; tune with -max-wall-regress /
+//	                            # -max-allocs-regress / -max-eventsps-regress /
+//	                            # -max-est-regress; allocs gate needs
 //	                            # -parallel 1 baselines on both sides)
 //
 //dophy:concurrency-boundary -- experiment-level fan-out; each worker runs an independent scenario and results are keyed by experiment id
@@ -52,18 +55,27 @@ type benchReport struct {
 	GoVersion   string            `json:"go_version"`
 	Experiments []benchExperiment `json:"experiments"`
 	TotalWallS  float64           `json:"total_wall_seconds"`
-	TotalEvents uint64            `json:"total_sim_events"`
-	AllocBytes  uint64            `json:"total_alloc_bytes"`
-	Mallocs     uint64            `json:"mallocs"`
+	// TotalEstS is the estimation-stage wall time (MINC + LSQ inference)
+	// summed over all experiments — the slice of TotalWallS the incremental
+	// estimators attack. Omitted in pre-estimation report formats.
+	TotalEstS   float64 `json:"total_estimation_seconds,omitempty"`
+	TotalEvents uint64  `json:"total_sim_events"`
+	AllocBytes  uint64  `json:"total_alloc_bytes"`
+	Mallocs     uint64  `json:"mallocs"`
 	// PeakRSSKB is the process's peak resident set size (VmHWM) after all
 	// experiments finished; 0 where /proc is unavailable.
 	PeakRSSKB uint64 `json:"peak_rss_kb,omitempty"`
 }
 
 type benchExperiment struct {
-	ID        string  `json:"id"`
-	Title     string  `json:"title"`
-	WallS     float64 `json:"wall_seconds"`
+	ID    string  `json:"id"`
+	Title string  `json:"title"`
+	WallS float64 `json:"wall_seconds"`
+	// EstS splits the estimation-stage time (MINC + LSQ inference) out of
+	// WallS: wall-clock regressions in the estimators stay visible even in
+	// experiments the simulation dominates. Omitted (0) for experiments
+	// that never run the inference estimators and in older reports.
+	EstS      float64 `json:"estimation_seconds,omitempty"`
 	Runs      int     `json:"sim_runs"`
 	SimEvents uint64  `json:"sim_events"`
 	EventsPS  float64 `json:"sim_events_per_second"`
@@ -104,25 +116,30 @@ func readPeakRSSKB() uint64 {
 
 func main() {
 	var (
-		expFlag    = flag.String("exp", "", "comma-separated experiment ids (default: all)")
-		csvFlag    = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		jsonFlag   = flag.Bool("json", false, "emit a machine-readable benchmark report (suppresses tables)")
-		seedFlag   = flag.Uint64("seed", 7, "base seed for all experiments")
-		listFlag   = flag.Bool("list", false, "list experiment ids and exit")
-		parallel   = flag.Int("parallel", runtime.NumCPU(), "experiments to run concurrently (1 = sequential)")
-		workers    = flag.Int("workers", 0, "scenario-sweep worker pool size (0 = NumCPU)")
-		shards     = flag.Int("shards", 1, "shard count for scale-tier experiments (S*); other tiers ignore it")
-		compare    = flag.String("compare", "", "previous -json report to diff against; exits nonzero on regression")
-		maxWall    = flag.Float64("max-wall-regress", 0.15, "per-experiment wall-clock regression tolerance for -compare")
-		maxAlloc   = flag.Float64("max-allocs-regress", 0.10, "per-experiment allocs-per-run regression tolerance for -compare")
-		maxEPS     = flag.Float64("max-eventsps-regress", 0.20, "per-experiment events/sec regression tolerance for -compare")
-		maxRSS     = flag.Float64("max-rss-regress", 0.30, "whole-run peak-RSS regression tolerance for -compare")
-		requireAll = flag.Bool("require-all", false, "fail -compare when any baseline experiment was not rerun")
+		expFlag     = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		csvFlag     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonFlag    = flag.Bool("json", false, "emit a machine-readable benchmark report (suppresses tables)")
+		seedFlag    = flag.Uint64("seed", 7, "base seed for all experiments")
+		listFlag    = flag.Bool("list", false, "list experiment ids and exit")
+		parallel    = flag.Int("parallel", runtime.NumCPU(), "experiments to run concurrently (1 = sequential)")
+		workers     = flag.Int("workers", 0, "scenario-sweep worker pool size (0 = NumCPU)")
+		shards      = flag.Int("shards", 1, "shard count for scale-tier experiments (S*); other tiers ignore it")
+		compare     = flag.String("compare", "", "previous -json report to diff against; exits nonzero on regression")
+		maxWall     = flag.Float64("max-wall-regress", 0.15, "per-experiment wall-clock regression tolerance for -compare")
+		maxAlloc    = flag.Float64("max-allocs-regress", 0.10, "per-experiment allocs-per-run regression tolerance for -compare")
+		maxEPS      = flag.Float64("max-eventsps-regress", 0.20, "per-experiment events/sec regression tolerance for -compare")
+		maxEst      = flag.Float64("max-est-regress", 0.25, "per-experiment estimation-stage seconds regression tolerance for -compare")
+		maxRSS      = flag.Float64("max-rss-regress", 0.30, "whole-run peak-RSS regression tolerance for -compare")
+		requireAll  = flag.Bool("require-all", false, "fail -compare when any baseline experiment was not rerun")
+		pipeline    = flag.Bool("pipeline", false, "overlap each epoch's simulation with the previous epoch's estimation")
+		incremental = flag.Bool("incremental", false, "incremental MINC/LSQ re-estimation seeded by dirty-link tracking")
 	)
 	flag.Parse()
 
 	experiment.SetWorkers(*workers)
 	experiment.SetShards(*shards)
+	experiment.SetPipelined(*pipeline)
+	experiment.SetIncremental(*incremental)
 
 	// Scale tiers (S*) are opt-in: a bare run covers All() — the tables and
 	// figures the goldens and the seed-7 CSV pin down — while -exp may name
@@ -237,6 +254,7 @@ func main() {
 				ID:        selected[i].ID,
 				Title:     res.table.Title,
 				WallS:     res.elapsed.Seconds(),
+				EstS:      res.table.EstSeconds,
 				Runs:      res.table.Runs,
 				SimEvents: res.table.SimEvents,
 				EventsPS:  eps,
@@ -245,6 +263,7 @@ func main() {
 				PeakRSSKB: res.peakRSSKB,
 			})
 			rep.TotalEvents += res.table.SimEvents
+			rep.TotalEstS += res.table.EstSeconds
 		}
 		var memAfter runtime.MemStats
 		runtime.ReadMemStats(&memAfter)
@@ -265,7 +284,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "dophy-bench: -compare: %v\n", err)
 				os.Exit(2)
 			}
-			if !compareReports(os.Stderr, old, &rep, *maxWall, *maxAlloc, *maxEPS, *maxRSS, *requireAll) {
+			if !compareReports(os.Stderr, old, &rep, *maxWall, *maxAlloc, *maxEPS, *maxEst, *maxRSS, *requireAll) {
 				os.Exit(1)
 			}
 		}
@@ -299,6 +318,11 @@ func loadReport(path string) (*benchReport, error) {
 // is not a regression worth gating on).
 const minCompareWallS = 0.25
 
+// minCompareEstS is the estimation-stage noise floor: the inference stage
+// is a fraction of an experiment's wall time, so it gets its own (smaller)
+// floor rather than inheriting minCompareWallS.
+const minCompareEstS = 0.05
+
 // compareReports diffs the fresh report against a baseline, experiment by
 // experiment (matched on ID), and reports whether the run is within the
 // given tolerances. Fields the baseline lacks — per-experiment mallocs from
@@ -307,7 +331,7 @@ const minCompareWallS = 0.25
 // experiments absent from the fresh run are always listed; with requireAll
 // they fail the comparison, so a partial -exp rerun cannot masquerade as a
 // full regression gate.
-func compareReports(out io.Writer, old, cur *benchReport, maxWall, maxAlloc, maxEPS, maxRSS float64, requireAll bool) bool {
+func compareReports(out io.Writer, old, cur *benchReport, maxWall, maxAlloc, maxEPS, maxEst, maxRSS float64, requireAll bool) bool {
 	byID := map[string]*benchExperiment{}
 	for i := range old.Experiments {
 		byID[old.Experiments[i].ID] = &old.Experiments[i]
@@ -336,6 +360,17 @@ func compareReports(out io.Writer, old, cur *benchReport, maxWall, maxAlloc, max
 		if oe.WallS >= minCompareWallS && oe.EventsPS > 0 && ne.EventsPS > 0 {
 			if rel := 1 - ne.EventsPS/oe.EventsPS; rel > maxEPS {
 				verdict = fmt.Sprintf("EVENTS/SEC REGRESSION (-%.1f%% > %.0f%%)", 100*rel, 100*maxEPS)
+				ok = false
+			}
+		}
+		// The estimation stage gets its own gate with its own noise floor:
+		// inference is milliseconds inside multi-second experiments, so an
+		// estimator regression that matters (the incremental path falling
+		// back to full re-solves, say) would vanish inside the wall-clock
+		// tolerance. Skipped when either report lacks the field.
+		if oe.EstS >= minCompareEstS && ne.EstS > 0 {
+			if rel := ne.EstS/oe.EstS - 1; rel > maxEst {
+				verdict = fmt.Sprintf("ESTIMATION REGRESSION (+%.1f%% > %.0f%%)", 100*rel, 100*maxEst)
 				ok = false
 			}
 		}
@@ -392,8 +427,8 @@ func compareReports(out io.Writer, old, cur *benchReport, maxWall, maxAlloc, max
 			old.PeakRSSKB, cur.PeakRSSKB, 100*rel, verdict)
 	}
 	if ok {
-		fmt.Fprintf(out, "dophy-bench: no regressions beyond tolerances (wall %.0f%%, allocs %.0f%%, events/sec %.0f%%)\n",
-			100*maxWall, 100*maxAlloc, 100*maxEPS)
+		fmt.Fprintf(out, "dophy-bench: no regressions beyond tolerances (wall %.0f%%, allocs %.0f%%, events/sec %.0f%%, estimation %.0f%%)\n",
+			100*maxWall, 100*maxAlloc, 100*maxEPS, 100*maxEst)
 	} else {
 		fmt.Fprintf(out, "dophy-bench: REGRESSION detected\n")
 	}

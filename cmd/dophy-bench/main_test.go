@@ -18,7 +18,7 @@ func report(ids ...string) *benchReport {
 func TestCompareReportsFullCoverage(t *testing.T) {
 	var buf strings.Builder
 	old, cur := report("T1", "T2"), report("T1", "T2")
-	if !compareReports(&buf, old, cur, 0.15, 0.10, 0.20, 0.30, true) {
+	if !compareReports(&buf, old, cur, 0.15, 0.10, 0.20, 0.25, 0.30, true) {
 		t.Fatalf("identical reports must pass -require-all:\n%s", buf.String())
 	}
 	if strings.Contains(buf.String(), "not run") {
@@ -29,7 +29,7 @@ func TestCompareReportsFullCoverage(t *testing.T) {
 func TestCompareReportsListsNotRun(t *testing.T) {
 	var buf strings.Builder
 	old, cur := report("T1", "T2", "T4"), report("T1")
-	if !compareReports(&buf, old, cur, 0.15, 0.10, 0.20, 0.30, false) {
+	if !compareReports(&buf, old, cur, 0.15, 0.10, 0.20, 0.25, 0.30, false) {
 		t.Fatalf("partial rerun without -require-all must pass:\n%s", buf.String())
 	}
 	if !strings.Contains(buf.String(), "baseline experiments not run: T2, T4") {
@@ -40,7 +40,7 @@ func TestCompareReportsListsNotRun(t *testing.T) {
 func TestCompareReportsRequireAllFails(t *testing.T) {
 	var buf strings.Builder
 	old, cur := report("T1", "T2"), report("T2")
-	if compareReports(&buf, old, cur, 0.15, 0.10, 0.20, 0.30, true) {
+	if compareReports(&buf, old, cur, 0.15, 0.10, 0.20, 0.25, 0.30, true) {
 		t.Fatalf("-require-all must fail on a partial rerun:\n%s", buf.String())
 	}
 	if !strings.Contains(buf.String(), "FAIL (-require-all)") {
@@ -52,7 +52,7 @@ func TestCompareReportsWallRegression(t *testing.T) {
 	var buf strings.Builder
 	old, cur := report("T1"), report("T1")
 	cur.Experiments[0].WallS = 2.0
-	if compareReports(&buf, old, cur, 0.15, 0.10, 0.20, 0.30, false) {
+	if compareReports(&buf, old, cur, 0.15, 0.10, 0.20, 0.25, 0.30, false) {
 		t.Fatalf("doubled wall-clock must fail:\n%s", buf.String())
 	}
 	if !strings.Contains(buf.String(), "WALL REGRESSION") {
@@ -64,7 +64,7 @@ func TestCompareReportsAllocRegression(t *testing.T) {
 	var buf strings.Builder
 	old, cur := report("T1"), report("T1")
 	cur.Experiments[0].Mallocs = 2000
-	if compareReports(&buf, old, cur, 0.15, 0.10, 0.20, 0.30, false) {
+	if compareReports(&buf, old, cur, 0.15, 0.10, 0.20, 0.25, 0.30, false) {
 		t.Fatalf("doubled allocs/run must fail:\n%s", buf.String())
 	}
 	if !strings.Contains(buf.String(), "ALLOC REGRESSION") {
@@ -77,7 +77,7 @@ func TestCompareReportsEventsPerSecRegression(t *testing.T) {
 	old, cur := report("S0"), report("S0")
 	old.Experiments[0].EventsPS = 1e6
 	cur.Experiments[0].EventsPS = 0.7e6 // -30% against a 20% tolerance
-	if compareReports(&buf, old, cur, 0.15, 0.10, 0.20, 0.30, false) {
+	if compareReports(&buf, old, cur, 0.15, 0.10, 0.20, 0.25, 0.30, false) {
 		t.Fatalf("30%% events/sec drop must fail a 20%% gate:\n%s", buf.String())
 	}
 	if !strings.Contains(buf.String(), "EVENTS/SEC REGRESSION") {
@@ -90,12 +90,12 @@ func TestCompareReportsEventsPerSecTolerance(t *testing.T) {
 	old, cur := report("S0"), report("S0")
 	old.Experiments[0].EventsPS = 1e6
 	cur.Experiments[0].EventsPS = 0.9e6 // -10%: inside the tunable gate
-	if !compareReports(&buf, old, cur, 0.15, 0.10, 0.20, 0.30, false) {
+	if !compareReports(&buf, old, cur, 0.15, 0.10, 0.20, 0.25, 0.30, false) {
 		t.Fatalf("10%% events/sec drop must pass a 20%% gate:\n%s", buf.String())
 	}
 	// Tighten the tolerance and the same drop must fail.
 	buf.Reset()
-	if compareReports(&buf, old, cur, 0.15, 0.10, 0.05, 0.30, false) {
+	if compareReports(&buf, old, cur, 0.15, 0.10, 0.05, 0.25, 0.30, false) {
 		t.Fatalf("10%% events/sec drop must fail a 5%% gate:\n%s", buf.String())
 	}
 }
@@ -104,11 +104,61 @@ func TestCompareReportsEventsPerSecSkipsOldBaselines(t *testing.T) {
 	var buf strings.Builder
 	old, cur := report("T1"), report("T1")
 	cur.Experiments[0].EventsPS = 1e6 // baseline has no event metering
-	if !compareReports(&buf, old, cur, 0.15, 0.10, 0.20, 0.30, false) {
+	if !compareReports(&buf, old, cur, 0.15, 0.10, 0.20, 0.25, 0.30, false) {
 		t.Fatalf("baselines without events/sec must not gate:\n%s", buf.String())
 	}
 	if strings.Contains(buf.String(), "EVENTS/SEC REGRESSION") {
 		t.Fatalf("unexpected events/sec verdict:\n%s", buf.String())
+	}
+}
+
+func TestCompareReportsEstimationRegression(t *testing.T) {
+	var buf strings.Builder
+	old, cur := report("T1"), report("T1")
+	old.Experiments[0].EstS = 0.2
+	cur.Experiments[0].EstS = 0.4 // +100% against a 25% tolerance
+	if compareReports(&buf, old, cur, 0.15, 0.10, 0.20, 0.25, 0.30, false) {
+		t.Fatalf("doubled estimation time must fail a 25%% gate:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "ESTIMATION REGRESSION") {
+		t.Fatalf("missing estimation verdict:\n%s", buf.String())
+	}
+}
+
+func TestCompareReportsEstimationTolerance(t *testing.T) {
+	var buf strings.Builder
+	old, cur := report("T1"), report("T1")
+	old.Experiments[0].EstS = 0.2
+	cur.Experiments[0].EstS = 0.23 // +15%: inside the default gate
+	if !compareReports(&buf, old, cur, 0.15, 0.10, 0.20, 0.25, 0.30, false) {
+		t.Fatalf("15%% estimation growth must pass a 25%% gate:\n%s", buf.String())
+	}
+	// Tighten the tolerance and the same growth must fail.
+	buf.Reset()
+	if compareReports(&buf, old, cur, 0.15, 0.10, 0.20, 0.10, 0.30, false) {
+		t.Fatalf("15%% estimation growth must fail a 10%% gate:\n%s", buf.String())
+	}
+}
+
+func TestCompareReportsEstimationSkipsOldBaselines(t *testing.T) {
+	var buf strings.Builder
+	old, cur := report("T1"), report("T1")
+	cur.Experiments[0].EstS = 1.0 // baseline predates estimation metering
+	if !compareReports(&buf, old, cur, 0.15, 0.10, 0.20, 0.25, 0.30, false) {
+		t.Fatalf("baselines without estimation_seconds must not gate:\n%s", buf.String())
+	}
+	if strings.Contains(buf.String(), "ESTIMATION REGRESSION") {
+		t.Fatalf("unexpected estimation verdict:\n%s", buf.String())
+	}
+}
+
+func TestCompareReportsEstimationNoiseFloor(t *testing.T) {
+	var buf strings.Builder
+	old, cur := report("T1"), report("T1")
+	old.Experiments[0].EstS = 0.01 // under minCompareEstS
+	cur.Experiments[0].EstS = 0.04 // 4x, but both within noise
+	if !compareReports(&buf, old, cur, 0.15, 0.10, 0.20, 0.25, 0.30, false) {
+		t.Fatalf("sub-noise-floor experiments must not gate on estimation:\n%s", buf.String())
 	}
 }
 
@@ -118,7 +168,7 @@ func TestCompareReportsEventsPerSecNoiseFloor(t *testing.T) {
 	old.Experiments[0].WallS = 0.05 // under minCompareWallS
 	old.Experiments[0].EventsPS = 1e6
 	cur.Experiments[0].EventsPS = 0.1e6
-	if !compareReports(&buf, old, cur, 0.15, 0.10, 0.20, 0.30, false) {
+	if !compareReports(&buf, old, cur, 0.15, 0.10, 0.20, 0.25, 0.30, false) {
 		t.Fatalf("sub-noise-floor experiments must not gate on events/sec:\n%s", buf.String())
 	}
 }

@@ -17,24 +17,30 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
-	// SimEvents / Runs meter the simulation work behind the table (summed
+	// SimEvents / Runs / EstSeconds meter the work behind the table (summed
 	// over its scenario runs). They never appear in Format/CSV output —
-	// cmd/dophy-bench -json reads them for throughput reporting.
-	SimEvents uint64
-	Runs      int
+	// cmd/dophy-bench -json reads them for throughput reporting. EstSeconds
+	// isolates the estimation-stage wall time (MINC + LSQ inference) from
+	// the simulation, so estimator regressions are visible even when the
+	// simulation dominates the end-to-end time.
+	SimEvents  uint64
+	Runs       int
+	EstSeconds float64
 }
 
 // recordRuns folds run-level metering into the table.
 func (t *Table) recordRuns(results ...*RunResult) {
 	for _, r := range results {
 		t.SimEvents += r.Events
+		t.EstSeconds += r.EstSeconds
 		t.Runs++
 	}
 }
 
 // recordSession folds a session-driven experiment's metering into the table.
-func (t *Table) recordSession(events uint64) {
+func (t *Table) recordSession(events uint64, estSeconds float64) {
 	t.SimEvents += events
+	t.EstSeconds += estSeconds
 	t.Runs++
 }
 

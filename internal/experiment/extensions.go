@@ -272,6 +272,7 @@ func T7(seed uint64) *Table {
 	type point struct {
 		row    []string
 		events uint64
+		estS   float64
 	}
 	for _, p := range Sweep(len(acks), func(i int) point {
 		al := acks[i]
@@ -295,8 +296,10 @@ func T7(seed uint64) *Table {
 			send.OnJourney(j)
 		})
 		var recvMAE, sendMAE []float64
+		var estS float64
 		for e := 0; e < sc.Epochs; e++ {
 			eo := sess.RunEpoch()
+			estS += eo.EstSeconds
 			rRep := recv.EndEpoch()
 			sRep := send.EndEpoch()
 			rAcc := Score(&SchemeEpoch{Name: "recv", Table: rRep.Table, Loss: rRep.Loss}, eo.Truth, sc.MinTruthAttempts)
@@ -315,10 +318,11 @@ func T7(seed uint64) *Table {
 				f(stats.Mean(sendMAE)),
 			},
 			events: sess.Events(),
+			estS:   estS,
 		}
 	}) {
 		t.Rows = append(t.Rows, p.row)
-		t.recordSession(p.events)
+		t.recordSession(p.events, p.estS)
 	}
 	return t
 }
@@ -477,6 +481,7 @@ func T10(seed uint64) *Table {
 	type point struct {
 		row    []string
 		events uint64
+		estS   float64
 	}
 	for _, p := range Sweep(len(sides), func(i int) point {
 		side := sides[i]
@@ -496,8 +501,10 @@ func T10(seed uint64) *Table {
 		sess.AttachAnnotator(dist.NewAnnotator())
 		identical := true
 		var annotBits, stateBits, packets int64
+		var estS float64
 		for e := 0; e < sc.Epochs; e++ {
 			eo := sess.RunEpoch()
+			estS += eo.EstSeconds
 			dRep := dist.EndEpoch()
 			cSe := eo.Schemes[SchemeDophy]
 			if dRep.Overhead.AnnotationBits != cSe.AnnotationBits ||
@@ -522,10 +529,11 @@ func T10(seed uint64) *Table {
 				fmt.Sprintf("%v", identical),
 			},
 			events: sess.Events(),
+			estS:   estS,
 		}
 	}) {
 		t.Rows = append(t.Rows, p.row)
-		t.recordSession(p.events)
+		t.recordSession(p.events, p.estS)
 	}
 	return t
 }

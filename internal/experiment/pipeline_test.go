@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// normalize prepares a RunResult for reflect.DeepEqual: wall-clock fields
+// are real elapsed time and differ run to run, and the NaN markers in
+// scheme estimates (NaN != NaN) are replaced by a sentinel.
+func normalize(r *RunResult) {
+	r.EstSeconds = 0
+	for _, eo := range r.Epochs {
+		eo.EstSeconds = 0
+		for _, se := range eo.Schemes {
+			for _, v := range [][]float64{se.Loss, se.StdErr} {
+				for i := range v {
+					if math.IsNaN(v[i]) {
+						v[i] = -424242
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunPipelinedMatchesRun pins the pipeline's contract: overlapping
+// simulation with estimation changes wall time only. Every epoch outcome —
+// truth, schemes, estimates, report bits — must be identical to the
+// sequential loop's, in both from-scratch and incremental estimator modes
+// (incremental matters because the warm-started estimators carry state
+// across epochs, so outcome k depends on the whole cut order).
+func TestRunPipelinedMatchesRun(t *testing.T) {
+	for _, inc := range []bool{false, true} {
+		name := "fromscratch"
+		if inc {
+			name = "incremental"
+		}
+		t.Run(name, func(t *testing.T) {
+			prev := SetIncremental(inc)
+			defer SetIncremental(prev)
+			sc := smallScenario(17)
+			sc.Epochs = 4
+			seq := Run(sc)
+			pip := RunPipelined(sc)
+			normalize(seq)
+			normalize(pip)
+			if !reflect.DeepEqual(seq, pip) {
+				t.Fatalf("pipelined run diverged from sequential run:\nseq: %+v\npip: %+v", seq, pip)
+			}
+		})
+	}
+}
+
+// TestPipelinedToggleRoutesRun checks that the package toggle makes plain
+// Run take the pipelined path, and that the toggle round-trips.
+func TestPipelinedToggleRoutesRun(t *testing.T) {
+	prev := SetPipelined(true)
+	defer SetPipelined(prev)
+	if !Pipelined() {
+		t.Fatal("SetPipelined(true) did not stick")
+	}
+	sc := smallScenario(19)
+	via := Run(sc)
+	SetPipelined(false)
+	seq := Run(sc)
+	normalize(via)
+	normalize(seq)
+	if !reflect.DeepEqual(seq, via) {
+		t.Fatal("Run under the pipelined toggle diverged from sequential Run")
+	}
+	SetPipelined(true)
+}
+
+func TestRunPipelinedZeroEpochs(t *testing.T) {
+	sc := smallScenario(23)
+	sc.Epochs = 0
+	res := RunPipelined(sc)
+	if len(res.Epochs) != 0 {
+		t.Fatalf("zero-epoch run produced %d epochs", len(res.Epochs))
+	}
+}

@@ -86,8 +86,10 @@ func runScaleTier(id, title string, sc Scenario) *Table {
 	s := NewShardedSession(sc, DefaultShardSpec(Shards()))
 	defer s.Close()
 	var eo *EpochOutcome
+	var estSeconds float64
 	for e := 0; e < sc.Epochs; e++ {
 		eo = s.RunEpoch()
+		estSeconds += eo.EstSeconds
 	}
 	st := s.Stats()
 	events := s.Events()
@@ -109,7 +111,7 @@ func runScaleTier(id, title string, sc Scenario) *Table {
 	row("generated", fmt.Sprintf("%d", eo.Truth.Generated))
 	row("beacons", fmt.Sprintf("%d", s.BeaconsSent()))
 	row("dophy-bits-per-packet", f2(dophy.BitsPerPacket()))
-	t.recordSession(events)
+	t.recordSession(events, estSeconds)
 	return t
 }
 

@@ -20,8 +20,6 @@ import (
 	"dophy/internal/sim"
 	"dophy/internal/stats"
 	"dophy/internal/tomo/epochobs"
-	"dophy/internal/tomo/lsq"
-	"dophy/internal/tomo/minc"
 	"dophy/internal/tomo/pathrecord"
 	"dophy/internal/topo"
 	"dophy/internal/trace"
@@ -184,6 +182,12 @@ type SchemeEpoch struct {
 	Packets         int64
 	Hops            int64
 	DecodeErrors    int64
+	// EstMode / DirtyRows describe how an incremental estimator solved the
+	// epoch ("off", "full", "warm" or "copy" with the dirty-row count, see
+	// lsq.Stats / minc.Stats). Empty for schemes without an incremental
+	// path. Diagnostic only: never rendered into tables.
+	EstMode   string
+	DirtyRows int
 }
 
 // LossAt returns the scheme's estimate for one link.
@@ -238,7 +242,7 @@ type Accuracy struct {
 
 // Score computes Accuracy for a scheme epoch against the trace epoch.
 func Score(se *SchemeEpoch, truth *trace.Epoch, minAttempts int64) Accuracy {
-	active := truth.ActiveLinks(minAttempts)
+	active := truth.ActiveLinkCount(minAttempts)
 	// Table order is ascending (From, To), so the float summations below
 	// visit links deterministically without any sort.
 	var est, tru []float64
@@ -256,8 +260,8 @@ func Score(se *SchemeEpoch, truth *trace.Epoch, minAttempts int64) Accuracy {
 		tru = append(tru, lossTrue)
 	}
 	acc := Accuracy{Links: len(est)}
-	if len(active) > 0 {
-		acc.Coverage = float64(len(est)) / float64(len(active))
+	if active > 0 {
+		acc.Coverage = float64(len(est)) / float64(active)
 	}
 	if len(est) == 0 {
 		acc.MAE = math.NaN()
@@ -285,6 +289,15 @@ type EpochOutcome struct {
 	// PerPacket holds (hops, dophyBits) samples for overhead-vs-path-length
 	// analysis.
 	PerPacket []PacketSample
+	// DirtyLinks counts ground-truth links whose counts changed since the
+	// previous epoch (trace.Epoch.DirtyCount) — the drift sparsity the
+	// incremental estimators exploit. Diagnostic only: never rendered.
+	DirtyLinks int
+	// EstSeconds is the wall-clock time the estimation stage (MINC + LSQ)
+	// spent on this epoch. Like T4's throughput row it measures the
+	// implementation, so it never feeds simulation state and is excluded
+	// from golden comparisons.
+	EstSeconds float64
 }
 
 // PacketSample is one delivered packet's (path length, annotation bits).
@@ -301,6 +314,9 @@ type RunResult struct {
 	// Events is the simulator event count for the whole run (warmup
 	// included) — the denominator for events/sec throughput reporting.
 	Events uint64
+	// EstSeconds is the total estimation-stage wall time across epochs
+	// (see EpochOutcome.EstSeconds).
+	EstSeconds float64
 	// MeanPacketsPerEpoch is the mean delivered packets per epoch.
 	MeanPacketsPerEpoch float64
 	// ParentChangesPerNodePerEpoch measures routing dynamics.
@@ -336,8 +352,7 @@ type Session struct {
 	compact  *pathrecord.Recorder
 	huff     *pathrecord.Recorder
 	obsCol   *epochobs.Collector
-	mincEst  *minc.Estimator
-	lsqEst   *lsq.Estimator
+	bank     estBank
 
 	perPacket      []PacketSample
 	epoch          int
@@ -378,12 +393,7 @@ func NewSession(sc Scenario) *Session {
 	s.compact = pathrecord.New(tp, prCfg(pathrecord.Compact))
 	s.huff = pathrecord.New(tp, prCfg(pathrecord.Huffman))
 	s.obsCol = epochobs.New(lt)
-	mcfg := minc.DefaultConfig()
-	mcfg.MaxAttempts = dcfg.MaxAttempts
-	s.mincEst = minc.NewEstimator(lt, mcfg)
-	lcfg := lsq.DefaultConfig()
-	lcfg.MaxAttempts = dcfg.MaxAttempts
-	s.lsqEst = lsq.NewEstimator(lt, lcfg)
+	s.bank = newEstBank(lt, dcfg.MaxAttempts)
 
 	nw.Subscribe(func(j *collect.PacketJourney) {
 		bits := s.dophyEng.OnJourney(j)
@@ -421,29 +431,42 @@ func (s *Session) BeaconsSent() int64 { return s.proto.BeaconsSent }
 // Events exposes the simulator's processed-event count so far.
 func (s *Session) Events() uint64 { return s.eng.Processed() }
 
-// RunEpoch advances the simulation one epoch and harvests every scheme.
-func (s *Session) RunEpoch() *EpochOutcome {
+// cutEpoch advances the simulation one epoch and harvests everything the
+// sink observes: ground truth, annotation-scheme epoch reports and the
+// observation epoch the inference estimators consume. It is the first
+// stage of RunEpoch; the returned cut is immutable and ready to hand to
+// the estimation stage (estBank.estimate), on this goroutine or another.
+func (s *Session) cutEpoch() *epochCut {
 	s.epoch++
 	s.eng.Run(s.sc.Warmup + sim.Time(s.epoch)*s.sc.EpochLen)
 	truth := s.rec.Cut()
 	eo := &EpochOutcome{Epoch: s.epoch, Truth: truth, Schemes: map[string]*SchemeEpoch{}}
+	eo.DirtyLinks = truth.DirtyCount()
 	eo.Schemes[SchemeDophy] = fromDophy(SchemeDophy, s.dophyEng.EndEpoch())
 	eo.Schemes[SchemeDophyNA] = fromDophy(SchemeDophyNA, s.dophyNA.EndEpoch())
 	eo.Schemes[SchemeRaw] = fromPathRecord(SchemeRaw, s.raw.EndEpoch())
 	eo.Schemes[SchemeCompact] = fromPathRecord(SchemeCompact, s.compact.EndEpoch())
 	eo.Schemes[SchemeHuffman] = fromPathRecord(SchemeHuffman, s.huff.EndEpoch())
 	obsEpoch := s.obsCol.EndEpoch()
-	eo.Schemes[SchemeMINC] = &SchemeEpoch{Name: SchemeMINC, Table: s.lt, Loss: s.mincEst.Estimate(obsEpoch)}
-	eo.Schemes[SchemeLSQ] = &SchemeEpoch{Name: SchemeLSQ, Table: s.lt, Loss: s.lsqEst.Estimate(obsEpoch)}
 	eo.PerPacket = s.perPacket
 	s.perPacket = nil
 	eo.QueueDrops = s.nw.QueueDrops - s.lastQueueDrops
 	s.lastQueueDrops = s.nw.QueueDrops
-	return eo
+	return &epochCut{out: eo, obs: obsEpoch}
 }
 
-// Run executes the scenario with every scheme attached.
+// RunEpoch advances the simulation one epoch and harvests every scheme.
+func (s *Session) RunEpoch() *EpochOutcome {
+	return s.bank.estimate(s.cutEpoch())
+}
+
+// Run executes the scenario with every scheme attached. With the
+// package-level pipeline toggle on (SetPipelined) the epochs execute
+// through the two-stage pipeline; the results are identical either way.
 func Run(sc Scenario) *RunResult {
+	if Pipelined() {
+		return RunPipelined(sc)
+	}
 	s := NewSession(sc)
 	res := &RunResult{Scenario: sc, Topology: s.tp}
 	var totalPackets, totalChanges int64
@@ -452,6 +475,7 @@ func Run(sc Scenario) *RunResult {
 		res.Epochs = append(res.Epochs, eo)
 		totalPackets += eo.Truth.Delivered
 		totalChanges += eo.Truth.ParentChanges
+		res.EstSeconds += eo.EstSeconds
 	}
 	if sc.Epochs > 0 {
 		res.MeanPacketsPerEpoch = float64(totalPackets) / float64(sc.Epochs)

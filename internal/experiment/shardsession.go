@@ -12,8 +12,6 @@ import (
 	"dophy/internal/sim"
 	"dophy/internal/sim/shard"
 	"dophy/internal/tomo/epochobs"
-	"dophy/internal/tomo/lsq"
-	"dophy/internal/tomo/minc"
 	"dophy/internal/tomo/pathrecord"
 	"dophy/internal/topo"
 	"dophy/internal/trace"
@@ -193,8 +191,7 @@ type ShardedSession struct {
 	compact  *pathrecord.Recorder //dophy:owner engine
 	huff     *pathrecord.Recorder //dophy:owner engine
 	obsCol   *epochobs.Collector  //dophy:owner engine
-	mincEst  *minc.Estimator      //dophy:owner engine
-	lsqEst   *lsq.Estimator       //dophy:owner engine
+	bank     estBank              //dophy:owner engine
 
 	perPacket      []PacketSample //dophy:owner engine
 	epoch          int            //dophy:owner engine
@@ -299,12 +296,7 @@ func NewShardedSession(sc Scenario, sp ShardSpec) *ShardedSession {
 		s.compact = pathrecord.New(tp, prCfg(pathrecord.Compact))
 		s.huff = pathrecord.New(tp, prCfg(pathrecord.Huffman))
 		s.obsCol = epochobs.New(lt)
-		mcfg := minc.DefaultConfig()
-		mcfg.MaxAttempts = dcfg.MaxAttempts
-		s.mincEst = minc.NewEstimator(lt, mcfg)
-		lcfg := lsq.DefaultConfig()
-		lcfg.MaxAttempts = dcfg.MaxAttempts
-		s.lsqEst = lsq.NewEstimator(lt, lcfg)
+		s.bank = newEstBank(lt, dcfg.MaxAttempts)
 	}
 	// Feeding the estimators at every barrier (rather than at epoch ends)
 	// bounds journey buffering to one window's worth of completions.
@@ -463,15 +455,14 @@ func (s *ShardedSession) RunEpoch() *EpochOutcome {
 	s.flush() // single-shard runs have no barriers; drain the epoch's tail
 	truth := trace.CutMerged(s.recs)
 	eo := &EpochOutcome{Epoch: s.epoch, Truth: truth, Schemes: map[string]*SchemeEpoch{}}
+	eo.DirtyLinks = truth.DirtyCount()
 	eo.Schemes[SchemeDophy] = fromDophy(SchemeDophy, s.dophyEng.EndEpoch())
 	if s.sp.FullSchemes {
 		eo.Schemes[SchemeDophyNA] = fromDophy(SchemeDophyNA, s.dophyNA.EndEpoch())
 		eo.Schemes[SchemeRaw] = fromPathRecord(SchemeRaw, s.raw.EndEpoch())
 		eo.Schemes[SchemeCompact] = fromPathRecord(SchemeCompact, s.compact.EndEpoch())
 		eo.Schemes[SchemeHuffman] = fromPathRecord(SchemeHuffman, s.huff.EndEpoch())
-		obsEpoch := s.obsCol.EndEpoch()
-		eo.Schemes[SchemeMINC] = &SchemeEpoch{Name: SchemeMINC, Table: s.lt, Loss: s.mincEst.Estimate(obsEpoch)}
-		eo.Schemes[SchemeLSQ] = &SchemeEpoch{Name: SchemeLSQ, Table: s.lt, Loss: s.lsqEst.Estimate(obsEpoch)}
+		s.bank.estimate(&epochCut{out: eo, obs: s.obsCol.EndEpoch()})
 	}
 	eo.PerPacket = s.perPacket
 	s.perPacket = nil
@@ -498,6 +489,7 @@ func RunSharded(sc Scenario, sp ShardSpec) *RunResult {
 		res.Epochs = append(res.Epochs, eo)
 		totalPackets += eo.Truth.Delivered
 		totalChanges += eo.Truth.ParentChanges
+		res.EstSeconds += eo.EstSeconds
 	}
 	if sc.Epochs > 0 {
 		res.MeanPacketsPerEpoch = float64(totalPackets) / float64(sc.Epochs)

@@ -1,0 +1,87 @@
+// Package pipeline mirrors the real internal/experiment epoch pipeline: a
+// single-producer single-consumer channel hand-off inside a concurrency
+// boundary. The spawn helper's go statement is sanctioned by the file
+// pragma; //dophy:transfers on the channel send makes any later touch of
+// the sent cut a sendown violation, and the consumer may not reach the
+// coordinator's engine-owned accounting.
+//
+//dophy:concurrency-boundary -- fixture two-stage pipeline; cuts cross the channel once and the bank belongs to the consumer goroutine
+package pipeline
+
+// cut is one epoch's harvest, immutable once constructed.
+type cut struct {
+	vals []float64 //dophy:owner immutable
+}
+
+// newCut is the cut's constructor: the only place vals may be written.
+func newCut(v float64) *cut {
+	return &cut{vals: []float64{v}}
+}
+
+// bank is the consumer stage's state: the estimator pointer never changes
+// after construction (its internal scratch mutates only under consume),
+// and total is the coordinator's accounting.
+type bank struct {
+	est   *estimator //dophy:owner immutable
+	total float64    //dophy:owner engine
+}
+
+type estimator struct {
+	sum float64
+}
+
+func (e *estimator) accumulate(vals []float64) float64 {
+	for _, v := range vals {
+		e.sum += v
+	}
+	return e.sum
+}
+
+func newBank() *bank { return &bank{est: &estimator{}} }
+
+// spawn starts the consumer stage; sanctioned by the boundary pragma.
+func spawn(b *bank, cuts <-chan *cut, outs chan<- float64) {
+	go consume(b, cuts, outs)
+}
+
+// consume drains cuts in order. Working through the immutable estimator
+// pointer is the clean shape; folding into the coordinator's engine-owned
+// total from the consumer goroutine is the violation.
+//
+//dophy:window
+func consume(b *bank, cuts <-chan *cut, outs chan<- float64) {
+	for c := range cuts {
+		v := b.est.accumulate(c.vals)
+		b.total += v // want "window code touches engine-owned field total"
+		outs <- v
+	}
+	close(outs)
+}
+
+// produce sends each cut downstream and then — the violation — reads the
+// cut it no longer owns (the consumer may already be recycling it).
+func produce(cuts chan<- *cut, n int) {
+	var sent float64
+	for i := 0; i < n; i++ {
+		c := newCut(float64(i))
+		//dophy:transfers -- the cut belongs to the consumer once sent
+		cuts <- c
+		sent += c.vals[0] // want "used after its ownership was transferred away"
+	}
+	_ = sent
+	close(cuts)
+}
+
+// Run wires the stages together the way RunPipelined does.
+func Run(n int) float64 {
+	b := newBank()
+	cuts := make(chan *cut, 1)
+	outs := make(chan float64, 1)
+	spawn(b, cuts, outs)
+	go produce(cuts, n)
+	var sum float64
+	for v := range outs {
+		sum += v
+	}
+	return sum
+}

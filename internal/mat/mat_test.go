@@ -260,3 +260,176 @@ func BenchmarkSolveSPD50(b *testing.B) {
 		}
 	}
 }
+
+// randIncidence fills an rows x cols 0/1 matrix with density p.
+func randIncidence(r *rng.Source, rows, cols int, p float64) *Dense {
+	m := NewDense(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if r.Bool(p) {
+				m.Set(i, j, 1)
+			}
+		}
+	}
+	return m
+}
+
+func TestGramUpdateRowsMatchesRebuild(t *testing.T) {
+	r := rng.New(7)
+	const rows, cols = 30, 12
+	old := randIncidence(r, rows, cols, 0.3)
+	cur := NewDense(rows, cols)
+	copy(cur.data, old.data)
+
+	// Mutate 4 rows.
+	changed := []int{2, 7, 7, 19, 28}
+	sub := NewDense(0, cols)
+	add := NewDense(0, cols)
+	seen := map[int]bool{}
+	for _, i := range changed {
+		if seen[i] {
+			continue
+		}
+		seen[i] = true
+		sub.Rows++
+		sub.data = append(sub.data, old.data[i*cols:(i+1)*cols]...)
+		for j := 0; j < cols; j++ {
+			v := 0.0
+			if r.Bool(0.3) {
+				v = 1
+			}
+			cur.Set(i, j, v)
+		}
+		add.Rows++
+		add.data = append(add.data, cur.data[i*cols:(i+1)*cols]...)
+	}
+
+	var g Dense
+	old.GramInto(&g)
+	g.GramUpdateRows(sub, add)
+
+	var want Dense
+	cur.GramInto(&want)
+	for i := range want.data {
+		if g.data[i] != want.data[i] {
+			t.Fatalf("gram[%d] = %v, want %v (must be bitwise for 0/1 rows)", i, g.data[i], want.data[i])
+		}
+	}
+}
+
+func TestGramUpdateRowsEmptyIsNoop(t *testing.T) {
+	r := rng.New(8)
+	a := randIncidence(r, 10, 6, 0.4)
+	var g, want Dense
+	a.GramInto(&g)
+	a.GramInto(&want)
+	g.GramUpdateRows(NewDense(0, 6), NewDense(0, 6))
+	for i := range want.data {
+		if g.data[i] != want.data[i] {
+			t.Fatal("empty update changed the Gram matrix")
+		}
+	}
+}
+
+func TestSolveWarmColdMatchesSolve(t *testing.T) {
+	r := rng.New(9)
+	a := randIncidence(r, 40, 15, 0.25)
+	b := make([]float64, 40)
+	for i := range b {
+		b[i] = r.Range(0, 2)
+	}
+	var s1, s2 NNLSSolver
+	x1 := s1.Solve(a, b, 500, 1e-12)
+
+	var g Dense
+	a.GramInto(&g)
+	atb := make([]float64, 15)
+	a.TMulVecTo(atb, b)
+	x2 := s2.SolveWarm(&g, atb, nil, 500, 1e-12)
+	for j := range x1 {
+		if x1[j] != x2[j] {
+			t.Fatalf("x[%d]: Solve %v vs cold SolveWarm %v (must be bitwise)", j, x1[j], x2[j])
+		}
+	}
+}
+
+func TestSolveWarmFromSeedConverges(t *testing.T) {
+	r := rng.New(10)
+	a := randIncidence(r, 50, 12, 0.3)
+	b := make([]float64, 50)
+	for i := range b {
+		b[i] = r.Range(0.1, 1)
+	}
+	var cold NNLSSolver
+	want := append([]float64(nil), cold.Solve(a, b, 20000, 1e-14)...)
+
+	// Seed with a perturbed copy of the solution: the warm solve must come
+	// back to the same optimum.
+	seed := make([]float64, len(want))
+	for j := range seed {
+		seed[j] = want[j] + r.Range(0, 0.05)
+	}
+	var g Dense
+	a.GramInto(&g)
+	atb := make([]float64, a.Cols)
+	a.TMulVecTo(atb, b)
+	var warm NNLSSolver
+	got := warm.SolveWarm(&g, atb, seed, 20000, 1e-14)
+	for j := range want {
+		if !almostEq(got[j], want[j], 1e-6) {
+			t.Fatalf("x[%d]: warm %v vs cold %v", j, got[j], want[j])
+		}
+	}
+}
+
+func TestSolveWarmZeroGramKeepsSeed(t *testing.T) {
+	var s NNLSSolver
+	g := NewDense(3, 3)
+	got := s.SolveWarm(g, []float64{0, 0, 0}, []float64{1, 2, 3}, 10, 1e-9)
+	for j, v := range []float64{1, 2, 3} {
+		if got[j] != v {
+			t.Fatalf("zero-Gram warm solve moved the seed: %v", got)
+		}
+	}
+}
+
+// FuzzGramUpdateRows differentially checks rank-k Gram updates against a
+// full rebuild on 0/1 incidence matrices, where both must agree bitwise.
+func FuzzGramUpdateRows(f *testing.F) {
+	f.Add(uint64(1), uint8(10), uint8(5), uint8(2))
+	f.Add(uint64(42), uint8(1), uint8(1), uint8(1))
+	f.Add(uint64(7), uint8(30), uint8(9), uint8(30))
+	f.Fuzz(func(t *testing.T, seed uint64, nrows, ncols, nchanged uint8) {
+		rows := int(nrows)%32 + 1
+		cols := int(ncols)%16 + 1
+		k := int(nchanged) % (rows + 1)
+		r := rng.New(seed)
+		old := randIncidence(r, rows, cols, 0.35)
+		cur := NewDense(rows, cols)
+		copy(cur.data, old.data)
+		sub := NewDense(0, cols)
+		add := NewDense(0, cols)
+		for _, i := range r.Perm(rows)[:k] {
+			sub.Rows++
+			sub.data = append(sub.data, old.data[i*cols:(i+1)*cols]...)
+			for j := 0; j < cols; j++ {
+				v := 0.0
+				if r.Bool(0.35) {
+					v = 1
+				}
+				cur.Set(i, j, v)
+			}
+			add.Rows++
+			add.data = append(add.data, cur.data[i*cols:(i+1)*cols]...)
+		}
+		var g, want Dense
+		old.GramInto(&g)
+		g.GramUpdateRows(sub, add)
+		cur.GramInto(&want)
+		for i := range want.data {
+			if g.data[i] != want.data[i] {
+				t.Fatalf("gram[%d] = %v, want %v (seed=%d rows=%d cols=%d k=%d)", i, g.data[i], want.data[i], seed, rows, cols, k)
+			}
+		}
+	})
+}

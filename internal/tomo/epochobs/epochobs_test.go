@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"dophy/internal/collect"
+	"dophy/internal/rng"
 	"dophy/internal/topo"
 )
 
@@ -156,5 +157,96 @@ func TestClampExpectedToDelivered(t *testing.T) {
 	e := c.EndEpoch()
 	if e.Expected[1] < e.Delivered[1] {
 		t.Fatalf("expected %d < delivered %d", e.Expected[1], e.Delivered[1])
+	}
+}
+
+func TestDirtyMasksAcrossEpochs(t *testing.T) {
+	c := New(chainTable(4))
+	c.OnJourney(delivered(3, 1, []topo.NodeID{3, 2, 1, 0}))
+	c.OnJourney(delivered(2, 1, []topo.NodeID{2, 1, 0}))
+	e1 := c.EndEpoch()
+	if e1.StatsDirty != nil || e1.ParentDirty != nil {
+		t.Fatal("first epoch must be conservatively all-dirty (nil masks)")
+	}
+	if !e1.PathDirty(3) || !e1.PathDirty(1) {
+		t.Fatal("first epoch PathDirty must report dirty everywhere")
+	}
+
+	// Second epoch repeats the first exactly (one packet per origin, same
+	// routes): stats and parents unchanged.
+	c.OnJourney(delivered(3, 2, []topo.NodeID{3, 2, 1, 0}))
+	c.OnJourney(delivered(2, 2, []topo.NodeID{2, 1, 0}))
+	e2 := c.EndEpoch()
+	if e2.StatsDirty == nil || e2.ParentDirty == nil {
+		t.Fatal("second epoch should carry dirty masks")
+	}
+	for i, d := range e2.StatsDirty {
+		if d {
+			t.Fatalf("origin %d stats dirty in identical epoch", i)
+		}
+	}
+	for i, d := range e2.ParentDirty {
+		if d {
+			t.Fatalf("node %d parent dirty in identical epoch", i)
+		}
+	}
+	if e2.PathDirty(3) || e2.PathDirty(2) {
+		t.Fatal("identical epoch paths must be clean")
+	}
+
+	// Third epoch loses a packet from origin 3 and leaves origin 2 as-is.
+	c.OnJourney(delivered(3, 4, []topo.NodeID{3, 2, 1, 0})) // seq 3 lost
+	c.OnJourney(delivered(2, 3, []topo.NodeID{2, 1, 0}))
+	e3 := c.EndEpoch()
+	if !e3.StatsDirty[3] || e3.StatsDirty[2] {
+		t.Fatalf("stats dirty = %v", e3.StatsDirty)
+	}
+	if !e3.PathDirty(3) {
+		t.Fatal("origin 3 with changed stats must be path-dirty")
+	}
+	if e3.PathDirty(2) {
+		t.Fatal("origin 2 unchanged but reported dirty")
+	}
+}
+
+func TestParentChangeDirtiesDownstreamPaths(t *testing.T) {
+	// 2x2 grid-ish: use a 4-node chain table but reroute node 2's parent is
+	// impossible in a chain, so use a star-capable table via Grid.
+	lt := topo.Grid(2, 10, 0, 15, rng.New(1)).LinkTable()
+	c := New(lt)
+	// Epoch 1: node 3 routes 3->1->0, node 2 routes 2->0.
+	c.OnJourney(delivered(3, 1, []topo.NodeID{3, 1, 0}))
+	c.OnJourney(delivered(2, 1, []topo.NodeID{2, 0}))
+	c.EndEpoch()
+	// Epoch 2: node 3 reroutes through 2; node 2 keeps its route and stats.
+	c.OnJourney(delivered(3, 2, []topo.NodeID{3, 2, 0}))
+	c.OnJourney(delivered(2, 2, []topo.NodeID{2, 0}))
+	e := c.EndEpoch()
+	if !e.ParentDirty[3] {
+		t.Fatal("rerouted node 3 not parent-dirty")
+	}
+	if !e.PathDirty(3) {
+		t.Fatal("rerouted origin 3 not path-dirty")
+	}
+	if e.PathDirty(2) {
+		t.Fatal("origin 2 kept route and stats but reported dirty")
+	}
+}
+
+func TestDiffFromShapeMismatchResetsMasks(t *testing.T) {
+	e := &Epoch{
+		Delivered:   []int64{1, 2},
+		Expected:    []int64{1, 2},
+		Tree:        []topo.NodeID{-1, 0},
+		StatsDirty:  []bool{false, false},
+		ParentDirty: []bool{false, false},
+	}
+	e.DiffFrom(&Epoch{Delivered: []int64{1}, Expected: []int64{1}, Tree: []topo.NodeID{-1}})
+	if e.StatsDirty != nil || e.ParentDirty != nil {
+		t.Fatal("shape mismatch must reset to all-dirty")
+	}
+	e.DiffFrom(nil)
+	if e.StatsDirty != nil || e.ParentDirty != nil {
+		t.Fatal("nil prev must reset to all-dirty")
 	}
 }

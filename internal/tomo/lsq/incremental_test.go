@@ -1,0 +1,252 @@
+package lsq
+
+import (
+	"math"
+	"testing"
+
+	"dophy/internal/rng"
+	"dophy/internal/tomo/epochobs"
+	"dophy/internal/tomo/geomle"
+	"dophy/internal/topo"
+)
+
+// driftPair builds two alternating epochs over the bench grid that differ
+// in ceil(frac * origins) origins' delivered counts, with dirty masks
+// filled the way a live Collector fills them. Alternating between the two
+// models a steady state where the same dirty fraction recurs every epoch.
+func driftPair(lt *topo.LinkTable, frac float64) (*epochobs.Epoch, *epochobs.Epoch) {
+	ea := benchEpoch(lt)
+	eb := &epochobs.Epoch{
+		Delivered: append([]int64(nil), ea.Delivered...),
+		Expected:  append([]int64(nil), ea.Expected...),
+		Tree:      append([]topo.NodeID(nil), ea.Tree...),
+	}
+	n := lt.Nodes()
+	k := int(math.Ceil(frac * float64(n-1)))
+	for i, changed := 1, 0; i < n && changed < k; i++ {
+		eb.Delivered[i] -= 3 // bench deliveries are >= 381, stays positive
+		changed++
+	}
+	ea.DiffFrom(eb)
+	eb.DiffFrom(ea)
+	return ea, eb
+}
+
+// compareEstimates checks NaN-pattern equality and value agreement.
+func compareEstimates(t *testing.T, got, want []float64, bitwise bool, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", label, len(got), len(want))
+	}
+	for i := range want {
+		gn, wn := math.IsNaN(got[i]), math.IsNaN(want[i])
+		if gn != wn {
+			t.Fatalf("%s: link %d NaN mismatch (got %v, want %v)", label, i, got[i], want[i])
+		}
+		if wn {
+			continue
+		}
+		if bitwise {
+			if got[i] != want[i] {
+				t.Fatalf("%s: link %d = %v, want bitwise %v", label, i, got[i], want[i])
+			}
+		} else if math.Abs(got[i]-want[i]) > 1e-6 {
+			t.Fatalf("%s: link %d = %v, want %v (|diff| %g > 1e-6)", label, i, got[i], want[i], math.Abs(got[i]-want[i]))
+		}
+	}
+}
+
+func TestIncrementalMatchesFromScratch(t *testing.T) {
+	// A 100-node grid with an iteration budget the projected-gradient
+	// solver can actually converge within: the warm start resumes at the
+	// solver's fixed point, so equivalence with the from-scratch path is
+	// only defined where the from-scratch path reaches that fixed point
+	// too (at a truncating budget both are artifacts of the truncation).
+	lt := topo.Grid(10, 10, 1.5, 14, rng.New(1)).LinkTable()
+	origins := lt.Nodes() - 1
+	for _, tc := range []struct {
+		name     string
+		frac     float64
+		wantMode string
+		bitwise  bool
+	}{
+		{"dirty0pct", 0, "copy", true},
+		{"dirty2pct", 0.02, "warm", false},
+		{"dirty20pct", 0.2, "warm", false},
+		{"dirty100pct", 1, "full", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ea, eb := driftPair(lt, tc.frac)
+			cfg := DefaultConfig()
+			cfg.Iters = 300000
+			cfg.DirtyThreshold = DefaultDirtyThreshold
+			inc := NewEstimator(lt, cfg)
+			refCfg := DefaultConfig()
+			refCfg.Iters = 300000
+			ref := NewEstimator(lt, refCfg)
+			wantDirty := int(math.Ceil(tc.frac * float64(origins)))
+			for k, e := range []*epochobs.Epoch{ea, eb, ea, eb} {
+				got := inc.Estimate(e)
+				want := ref.Estimate(e)
+				st := inc.LastStats()
+				if k == 0 {
+					// No prior state yet: always a full solve, always bitwise.
+					compareEstimates(t, got, want, true, "epoch 0")
+					if st.Mode != "full" {
+						t.Fatalf("epoch 0 mode = %q, want full", st.Mode)
+					}
+					continue
+				}
+				if st.Mode != tc.wantMode {
+					t.Fatalf("epoch %d mode = %q, want %q (dirty %d/%d)", k, st.Mode, tc.wantMode, st.DirtyRows, st.Rows)
+				}
+				if st.Mode != "copy" && st.DirtyRows != wantDirty {
+					t.Fatalf("epoch %d dirty rows = %d, want %d", k, st.DirtyRows, wantDirty)
+				}
+				compareEstimates(t, got, want, tc.bitwise, tc.name)
+			}
+		})
+	}
+}
+
+// TestIncrementalRowChurn exercises rows leaving and re-entering the
+// system (an origin dropping below MinExpected and recovering): whatever
+// path the estimator picks, results must track the from-scratch solve.
+func TestIncrementalRowChurn(t *testing.T) {
+	lt := topo.Grid(14, 10, 1.5, 14, rng.New(1)).LinkTable()
+	ea, _ := driftPair(lt, 0)
+	// eb removes an interior origin's row entirely.
+	eb := &epochobs.Epoch{
+		Delivered: append([]int64(nil), ea.Delivered...),
+		Expected:  append([]int64(nil), ea.Expected...),
+		Tree:      append([]topo.NodeID(nil), ea.Tree...),
+	}
+	interior := topo.NodeID(-1)
+	for v, p := range ea.Tree {
+		if p > 0 { // p is somebody's parent and not the sink
+			interior = p
+			break
+		}
+		_ = v
+	}
+	if interior < 0 {
+		t.Fatal("no interior node found")
+	}
+	eb.Delivered[interior], eb.Expected[interior] = 0, 0
+	ea.DiffFrom(eb)
+	eb.DiffFrom(ea)
+
+	cfg := DefaultConfig()
+	cfg.DirtyThreshold = DefaultDirtyThreshold
+	inc := NewEstimator(lt, cfg)
+	ref := NewEstimator(lt, DefaultConfig())
+	for k, e := range []*epochobs.Epoch{ea, eb, ea, eb, ea} {
+		got := inc.Estimate(e)
+		want := ref.Estimate(e)
+		bitwise := inc.LastStats().Mode == "full" || inc.LastStats().Mode == "copy"
+		compareEstimates(t, got, want, bitwise, "churn epoch "+string(rune('0'+k)))
+	}
+}
+
+// TestIncrementalWarmRowRemoval pins the rank-k row-removal path: an
+// interior origin whose entire path is first-encountered by an earlier
+// row can drop out without disturbing the column order, so its removal is
+// handled by the Gram update rather than a full fallback.
+func TestIncrementalWarmRowRemoval(t *testing.T) {
+	// Fully-connected 2x2 grid; the voted tree routes 1 -> 2 -> 0, so
+	// origin 1's row covers origin 2's whole path.
+	lt := topo.Grid(2, 10, 0, 15, rng.New(1)).LinkTable()
+	mk := func(deliv2 int64) *epochobs.Epoch {
+		e := &epochobs.Epoch{
+			Delivered: []int64{0, 90, deliv2, 95},
+			Expected:  []int64{0, 100, 0, 100},
+			Tree:      []topo.NodeID{-1, 2, 0, 0},
+		}
+		if deliv2 > 0 {
+			e.Expected[2] = 100
+		}
+		return e
+	}
+	ea, eb := mk(80), mk(0) // eb removes origin 2's row
+	ea.DiffFrom(eb)
+	eb.DiffFrom(ea)
+
+	// lsObjective recovers the solver-space x from the published loss
+	// estimates and evaluates the least-squares objective over e's rows.
+	lsObjective := func(e *epochobs.Epoch, out []float64) float64 {
+		obj := 0.0
+		for _, origin := range []topo.NodeID{1, 2, 3} {
+			n := e.Expected[origin]
+			if n < DefaultConfig().MinExpected {
+				continue
+			}
+			b := -math.Log(float64(e.Delivered[origin]) / float64(n))
+			sum := 0.0
+			cur := origin
+			for cur != topo.Sink {
+				p := e.Tree[cur]
+				li := lt.Index(topo.Link{From: cur, To: p})
+				drop := geomle.DropProbability(out[li], DefaultConfig().MaxAttempts)
+				sum += -math.Log(1 - drop)
+				cur = p
+			}
+			obj += (sum - b) * (sum - b)
+		}
+		return obj
+	}
+
+	cfg := DefaultConfig()
+	cfg.DirtyThreshold = 0.5 // 1 dirty row of 2-3 must stay below threshold
+	inc := NewEstimator(lt, cfg)
+	ref := NewEstimator(lt, DefaultConfig())
+	for k, e := range []*epochobs.Epoch{ea, eb, ea} {
+		got := inc.Estimate(e)
+		want := ref.Estimate(e)
+		if k > 0 {
+			if st := inc.LastStats(); st.Mode != "warm" || st.DirtyRows != 1 {
+				t.Fatalf("epoch %d stats = %+v, want warm with 1 dirty row", k, st)
+			}
+		}
+		if k == 1 {
+			// Removing the row leaves the system rank-deficient: the
+			// optimum is a subspace, so the two paths may pick different
+			// minimisers. Both must reach the same objective value.
+			gobj, wobj := lsObjective(e, got), lsObjective(e, want)
+			if math.Abs(gobj-wobj) > 1e-9 {
+				t.Fatalf("objectives diverge: warm %g vs scratch %g", gobj, wobj)
+			}
+			continue
+		}
+		// Full-rank epochs have a unique optimum: vectors must agree.
+		compareEstimates(t, got, want, k == 0, "row removal epoch")
+	}
+}
+
+func benchIncremental(b *testing.B, frac, threshold float64) {
+	lt := topo.Grid(14, 10, 1.5, 14, rng.New(1)).LinkTable()
+	ea, eb := driftPair(lt, frac)
+	cfg := DefaultConfig()
+	cfg.DirtyThreshold = threshold
+	est := NewEstimator(lt, cfg)
+	est.Estimate(ea)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			est.Estimate(eb)
+		} else {
+			est.Estimate(ea)
+		}
+	}
+}
+
+// BenchmarkLsqIncremental measures steady-state estimation cost against
+// drift sparsity on the 196-node grid; fullresolve is the
+// DirtyThreshold=0 baseline over the same 2%-drift inputs.
+func BenchmarkLsqIncremental(b *testing.B) {
+	b.Run("fullresolve", func(b *testing.B) { benchIncremental(b, 0.02, 0) })
+	b.Run("dirty100pct", func(b *testing.B) { benchIncremental(b, 1, DefaultDirtyThreshold) })
+	b.Run("dirty20pct", func(b *testing.B) { benchIncremental(b, 0.2, DefaultDirtyThreshold) })
+	b.Run("dirty2pct", func(b *testing.B) { benchIncremental(b, 0.02, DefaultDirtyThreshold) })
+	b.Run("dirty0pct", func(b *testing.B) { benchIncremental(b, 0, DefaultDirtyThreshold) })
+}

@@ -14,6 +14,7 @@ package trace
 
 import (
 	"fmt"
+	"math/bits"
 
 	"dophy/internal/topo"
 )
@@ -42,6 +43,7 @@ func (c LinkCounts) Loss(minAttempts int64) (float64, bool) {
 type Recorder struct {
 	lt            *topo.LinkTable
 	counts        []LinkCounts // indexed by lt
+	prev          []LinkCounts // counts of the previous cut, kept for dirty diffing
 	Generated     int64        // data packets created at origins
 	Delivered     int64        // data packets that reached the sink
 	Dropped       int64        // data packets dropped after retry exhaustion
@@ -50,7 +52,11 @@ type Recorder struct {
 
 // NewRecorder returns an empty recorder over the given link table.
 func NewRecorder(lt *topo.LinkTable) *Recorder {
-	return &Recorder{lt: lt, counts: make([]LinkCounts, lt.Len())}
+	return &Recorder{
+		lt:     lt,
+		counts: make([]LinkCounts, lt.Len()),
+		prev:   make([]LinkCounts, lt.Len()),
+	}
 }
 
 // Attempt records one data-packet transmission on l and its outcome.
@@ -104,6 +110,11 @@ type Epoch struct {
 	Delivered     int64
 	Dropped       int64
 	ParentChanges int64
+	// dirty is a dense bitmap over Table indices: bit i is set when link
+	// i's counts differ from the previous cut of the same recorder(s). A
+	// nil bitmap means no previous cut is known and every link must be
+	// treated as dirty.
+	dirty []uint64
 }
 
 // Link returns the counts for l (zero value if untouched or unknown).
@@ -121,10 +132,63 @@ func (e *Epoch) Link(l topo.Link) LinkCounts {
 // in canonical table order — the links a tomography scheme could plausibly
 // estimate.
 func (e *Epoch) ActiveLinks(minAttempts int64) []topo.Link {
-	var out []topo.Link
+	return e.AppendActiveLinks(minAttempts, nil)
+}
+
+// AppendActiveLinks is the append-into variant of ActiveLinks for per-epoch
+// hot paths: it extends buf (typically a reused scratch slice reset to
+// length zero) instead of allocating a fresh slice each call.
+func (e *Epoch) AppendActiveLinks(minAttempts int64, buf []topo.Link) []topo.Link {
 	for i := topo.LinkIdx(0); i < e.Table.Count(); i++ {
 		if e.Counts[i].DataAttempts >= minAttempts && e.Counts[i].Attempts > 0 {
-			out = append(out, e.Table.Link(i))
+			buf = append(buf, e.Table.Link(i))
+		}
+	}
+	return buf
+}
+
+// ActiveLinkCount counts the links ActiveLinks would return without
+// materialising them — for per-epoch scoring that only needs the total.
+func (e *Epoch) ActiveLinkCount(minAttempts int64) int {
+	n := 0
+	for i := topo.LinkIdx(0); i < e.Table.Count(); i++ {
+		if e.Counts[i].DataAttempts >= minAttempts && e.Counts[i].Attempts > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// LinkDirty reports whether link i's counts changed relative to the
+// previous cut. Without a previous cut every link reports dirty.
+func (e *Epoch) LinkDirty(i topo.LinkIdx) bool {
+	if e.dirty == nil {
+		return true
+	}
+	return e.dirty[uint(i)>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// DirtyCount returns how many links changed since the previous cut.
+func (e *Epoch) DirtyCount() int {
+	if e.dirty == nil {
+		return len(e.Counts)
+	}
+	n := 0
+	for _, w := range e.dirty {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// DirtyLinks returns the indices of the links whose counts changed since
+// the previous cut, in canonical table order. It allocates; incremental
+// consumers on hot paths should query LinkDirty against the bitmap
+// instead.
+func (e *Epoch) DirtyLinks() []topo.LinkIdx {
+	out := make([]topo.LinkIdx, 0, e.DirtyCount())
+	for i := topo.LinkIdx(0); int(i) < len(e.Counts); i++ {
+		if e.LinkDirty(i) {
+			out = append(out, i)
 		}
 	}
 	return out
@@ -159,6 +223,13 @@ func CutMerged(recs []*Recorder) *Epoch {
 			e.Counts[i].Successes += part.Counts[i].Successes
 			e.Counts[i].DataAttempts += part.Counts[i].DataAttempts
 		}
+		// The merged counts are per-shard sums, so a link is unchanged
+		// exactly when every shard's contribution is unchanged: OR-ing the
+		// per-shard bitmaps is sound for any partition and exact when each
+		// link is recorded by a single shard (sender-side recording).
+		for i := range e.dirty {
+			e.dirty[i] |= part.dirty[i]
+		}
 		e.Generated += part.Generated
 		e.Delivered += part.Delivered
 		e.Dropped += part.Dropped
@@ -168,8 +239,9 @@ func CutMerged(recs []*Recorder) *Epoch {
 }
 
 // Cut snapshots the current counters into an Epoch and zeroes the recorder
-// in place for the next one — the snapshot is the only per-epoch
-// allocation.
+// in place for the next one. The dirty bitmap is diffed against the
+// previous cut's counts here, while both windows are still at hand — the
+// snapshot and the bitmap are the only per-epoch allocations.
 func (r *Recorder) Cut() *Epoch {
 	e := &Epoch{
 		Table:         r.lt,
@@ -178,8 +250,15 @@ func (r *Recorder) Cut() *Epoch {
 		Delivered:     r.Delivered,
 		Dropped:       r.Dropped,
 		ParentChanges: r.ParentChanges,
+		dirty:         make([]uint64, (len(r.counts)+63)/64),
 	}
 	copy(e.Counts, r.counts)
+	for i := range r.counts {
+		if r.counts[i] != r.prev[i] {
+			e.dirty[uint(i)>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	copy(r.prev, r.counts)
 	clear(r.counts)
 	r.Generated, r.Delivered, r.Dropped, r.ParentChanges = 0, 0, 0, 0
 	return e
