@@ -22,6 +22,9 @@
 // -hotpaths prints the //dophy:hotpath inventory instead of linting;
 // -write-inventory regenerates the committed hotpath-inventory.txt from the
 // same data, so CI can fail when the golden drifts from the annotations.
+// -rule <name,...> restricts reporting to the named rules (the full
+// catalogue still runs, so waiver bookkeeping is unchanged; pragma-hygiene
+// diagnostics appear only on unfiltered runs). Unknown names exit 2.
 package main
 
 import (
@@ -47,7 +50,14 @@ func main() {
 	github := flag.Bool("github", false, "emit GitHub Actions ::error annotations alongside the text output")
 	hotpaths := flag.Bool("hotpaths", false, "print the //dophy:hotpath function inventory and exit")
 	writeInventory := flag.Bool("write-inventory", false, "rewrite hotpath-inventory.txt at the module root and exit")
+	ruleSpec := flag.String("rule", "", "comma-separated rule names to run (default: all rules)")
 	flag.Parse()
+
+	ruleFilter, err := selectRules(*ruleSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dophy-lint:", err)
+		os.Exit(2)
+	}
 
 	dir := *root
 	if dir == "" {
@@ -137,6 +147,15 @@ func main() {
 			diags = append(diags, d)
 		}
 	}
+	if ruleFilter != nil {
+		kept := diags[:0]
+		for _, d := range diags {
+			if ruleFilter[d.Rule] {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
+	}
 	lint.SortDiagnostics(diags)
 
 	switch {
@@ -159,6 +178,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dophy-lint: %d violation(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// selectRules parses the -rule flag: a comma-separated list of rule names
+// to report. An empty spec means no filtering (nil map). The engine always
+// runs the full catalogue so waiver bookkeeping stays consistent; the
+// filter only restricts which diagnostics are reported, and pragma-hygiene
+// diagnostics (malformed or stale waivers) appear only on unfiltered runs.
+func selectRules(spec string) (map[string]bool, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	known := map[string]bool{}
+	for _, r := range lint.AllRules() {
+		known[r.Name()] = true
+	}
+	filter := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			names := make([]string, 0, len(known))
+			for n := range known {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			return nil, fmt.Errorf("unknown rule %q; known rules: %s", name, strings.Join(names, ", "))
+		}
+		filter[name] = true
+	}
+	if len(filter) == 0 {
+		return nil, fmt.Errorf("-rule %q names no rules", spec)
+	}
+	return filter, nil
 }
 
 // jsonDiag is the stable JSON shape of one diagnostic.

@@ -47,6 +47,16 @@ func goldenDiags() []lint.Diagnostic {
 			Rule: "barrierorder",
 			Msg:  "//dophy:barrier function deliver is reachable from window code: a barrier cannot run inside the window it closes",
 		},
+		{
+			Pos:  token.Position{Filename: "internal/mat/mat.go", Line: 360, Column: 9},
+			Rule: "lifecycle",
+			Msg:  `s.SolveWarm called in state "new"; the //dophy:states contract of NNLSSolver allows here: Solve`,
+		},
+		{
+			Pos:  token.Position{Filename: "internal/experiment/pipeline.go", Line: 96, Column: 53},
+			Rule: "borrowspan",
+			Msg:  "loss was borrowed from b.lsqEst's scratch (line 96) but Estimate was called on line 99, invalidating it; read it before the next Estimate or copy it out",
+		},
 	}
 }
 
@@ -76,6 +86,30 @@ func TestEmitJSONGolden(t *testing.T) {
 	}
 	if !bytes.Equal(buf.Bytes(), want) {
 		t.Errorf("-json output drifted from %s\ngot:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+// TestSelectRules pins the -rule flag contract: empty spec means no
+// filtering, known names build the filter set, and an unknown name is the
+// error that makes main exit 2.
+func TestSelectRules(t *testing.T) {
+	if f, err := selectRules(""); err != nil || f != nil {
+		t.Fatalf("selectRules(\"\") = %v, %v; want nil, nil", f, err)
+	}
+	f, err := selectRules("lifecycle, borrowspan")
+	if err != nil {
+		t.Fatalf("selectRules known rules: %v", err)
+	}
+	if len(f) != 2 || !f["lifecycle"] || !f["borrowspan"] {
+		t.Fatalf("selectRules filter = %v, want lifecycle+borrowspan", f)
+	}
+	if _, err := selectRules("lifecycle,nosuchrule"); err == nil {
+		t.Fatal("selectRules accepted unknown rule nosuchrule")
+	} else if want := `unknown rule "nosuchrule"`; !bytes.Contains([]byte(err.Error()), []byte(want)) {
+		t.Fatalf("selectRules error %q, want substring %q", err, want)
+	}
+	if _, err := selectRules(" , ,"); err == nil {
+		t.Fatal("selectRules accepted a spec naming no rules")
 	}
 }
 

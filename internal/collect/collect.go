@@ -263,10 +263,11 @@ func (n *Network) jitteredPeriod(id topo.NodeID) sim.Time {
 //dophy:hotpath
 func (n *Network) generate(id topo.NodeID) {
 	n.nextSeq[id]++
-	// Pre-size Hops for typical path depth: the append in transmit would
-	// otherwise regrow 1→2→4→8 for every journey on the hot path.
+	// Pre-size Hops past the typical path depth with retries: the append in
+	// transmit regrows for every journey that outgrows the capacity, and at
+	// cap 8 roughly a third of the journeys on a grid topology did.
 	//dophy:allow hotpathalloc -- the journey record is the pipeline's product: one allocation per generated packet, owned by the sink
-	j := &PacketJourney{Origin: id, Seq: n.nextSeq[id], Generated: n.eng.Now(), Hops: make([]Hop, 0, 8)}
+	j := &PacketJourney{Origin: id, Seq: n.nextSeq[id], Generated: n.eng.Now(), Hops: make([]Hop, 0, 16)}
 	if n.rec != nil {
 		n.rec.Generated++
 	}

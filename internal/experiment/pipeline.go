@@ -90,10 +90,12 @@ func newEstBank(lt *topo.LinkTable, maxAttempts int) estBank {
 func (b *estBank) estimate(c *epochCut) *EpochOutcome {
 	eo := c.out
 	start := nowNanos()
-	mSe := &SchemeEpoch{Name: SchemeMINC, Table: b.lt, Loss: b.mincEst.Estimate(c.obs)}
+	// Estimate returns borrowed estimator scratch, rewritten next epoch; the
+	// SchemeEpoch outlives the epoch, so this is the one copy-out boundary.
+	mSe := &SchemeEpoch{Name: SchemeMINC, Table: b.lt, Loss: append([]float64(nil), b.mincEst.Estimate(c.obs)...)}
 	mSt := b.mincEst.LastStats()
 	mSe.EstMode, mSe.DirtyRows = mSt.Mode, mSt.DirtyRows
-	lSe := &SchemeEpoch{Name: SchemeLSQ, Table: b.lt, Loss: b.lsqEst.Estimate(c.obs)}
+	lSe := &SchemeEpoch{Name: SchemeLSQ, Table: b.lt, Loss: append([]float64(nil), b.lsqEst.Estimate(c.obs)...)}
 	lSt := b.lsqEst.LastStats()
 	lSe.EstMode, lSe.DirtyRows = lSt.Mode, lSt.DirtyRows
 	eo.Schemes[SchemeMINC] = mSe

@@ -338,6 +338,11 @@ const (
 
 // Session is an assembled deployment with all schemes attached; epochs are
 // stepped on demand. experiment.Run and the public dophy facade share it.
+//
+// Consumers and annotators attach only before the first epoch runs — an
+// epoch they missed can never be replayed.
+//
+//dophy:states fresh: SubscribeJourneys|AttachAnnotator -> fresh, RunEpoch -> running; running: RunEpoch -> running
 type Session struct {
 	sc       Scenario
 	tp       *topo.Topology
@@ -440,7 +445,8 @@ func (s *Session) cutEpoch() *epochCut {
 	s.epoch++
 	s.eng.Run(s.sc.Warmup + sim.Time(s.epoch)*s.sc.EpochLen)
 	truth := s.rec.Cut()
-	eo := &EpochOutcome{Epoch: s.epoch, Truth: truth, Schemes: map[string]*SchemeEpoch{}}
+	// Seven schemes land in the map every epoch: size it once up front.
+	eo := &EpochOutcome{Epoch: s.epoch, Truth: truth, Schemes: make(map[string]*SchemeEpoch, 8)}
 	eo.DirtyLinks = truth.DirtyCount()
 	eo.Schemes[SchemeDophy] = fromDophy(SchemeDophy, s.dophyEng.EndEpoch())
 	eo.Schemes[SchemeDophyNA] = fromDophy(SchemeDophyNA, s.dophyNA.EndEpoch())

@@ -1,0 +1,565 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the borrow layer: annotations for methods whose results
+// alias receiver-owned scratch, and the borrowspan rule that checks the two
+// ways such a result can outlive its validity.
+//
+// Annotation grammar (in a method's doc comment):
+//
+//	//dophy:returns borrowed(recv) [-- <reason>]
+//	    The method's reference-typed results alias storage owned by the
+//	    receiver. The caller gets a borrow, not a value: it may read it,
+//	    pass it down a call, or copy it out — but not retain it.
+//	//dophy:invalidates [-- <reason>]
+//	    Calling the method revokes every borrow previously handed out by
+//	    the same receiver (typically the scratch is about to be rewritten).
+//
+// The borrowspan rule reports, per function body and lexically (the same
+// discipline as the sendown post-transfer scan):
+//
+//  1. reads of a borrowed value after a later invalidating call on the
+//     same receiver path (e.g. x := s.Solve(...); s.Solve(...); use(x));
+//  2. stores that let the alias escape the frame: assignment into a struct
+//     field or element, composite-literal fields, channel sends (unless
+//     sanctioned by //dophy:transfers), and appends that keep the alias
+//     (append(dst, x) — while append(dst, x...) of a scalar-element slice
+//     is an explicit copy and is clean);
+//  3. returning a borrowed value from a function that is not itself
+//     annotated //dophy:returns borrowed(recv).
+//
+// Honest limits: borrows are tracked per lexical binding, so loop-carried
+// reads (borrow in iteration i, invalidate in i+1) and aliases made by
+// plain `y := x` copies are out of scope; passing a borrow to a callee is
+// treated as a read, trusting the callee not to retain it.
+
+const (
+	// ReturnsPragma declares what a method's results are borrowed from.
+	ReturnsPragma = "//dophy:returns"
+	// InvalidatesPragma marks a method call as revoking the receiver's
+	// outstanding borrows.
+	InvalidatesPragma = "//dophy:invalidates"
+)
+
+// borrowInfo is the module's parsed borrow annotation set.
+type borrowInfo struct {
+	returns     map[*types.Func]token.Pos
+	invalidates map[*types.Func]token.Pos
+	annDiags    []contractDiag
+}
+
+// borrowInfoOf parses (once) every borrow annotation in the module.
+func (m *Module) borrowInfoOf() *borrowInfo {
+	if m.bwInfo != nil {
+		return m.bwInfo
+	}
+	bi := &borrowInfo{returns: map[*types.Func]token.Pos{}, invalidates: map[*types.Func]token.Pos{}}
+	m.bwInfo = bi
+	for _, pkg := range m.Packages {
+		for _, file := range pkg.Files {
+			bi.collectFile(pkg, file)
+		}
+	}
+	return bi
+}
+
+func (bi *borrowInfo) collectFile(pkg *Package, file *File) {
+	bad := func(pos token.Pos, format string, args ...any) {
+		bi.annDiags = append(bi.annDiags, contractDiag{rule: "borrowspan", pkg: pkg, pos: pos,
+			msg: fmt.Sprintf(format, args...)})
+	}
+	for _, decl := range file.AST.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+		for _, cm := range fd.Doc.List {
+			if arg, ok := directiveArg(cm.Text, ReturnsPragma); ok {
+				spec, _, _ := strings.Cut(arg, "--")
+				if strings.TrimSpace(spec) != "borrowed(recv)" {
+					bad(cm.Pos(), "malformed //dophy:returns: want 'borrowed(recv)', got %q", strings.TrimSpace(spec))
+					continue
+				}
+				if fd.Recv == nil {
+					bad(cm.Pos(), "//dophy:returns borrowed(recv) on %s, which has no receiver to borrow from", fd.Name.Name)
+					continue
+				}
+				if fn == nil {
+					continue
+				}
+				sig := fn.Type().(*types.Signature)
+				hasRef := false
+				for i := 0; i < sig.Results().Len(); i++ {
+					if isRefType(sig.Results().At(i).Type()) {
+						hasRef = true
+					}
+				}
+				if !hasRef {
+					bad(cm.Pos(), "//dophy:returns borrowed(recv) on %s, but no result is reference-typed; nothing can alias the receiver", fd.Name.Name)
+					continue
+				}
+				bi.returns[fn] = cm.Pos()
+			}
+			if _, ok := directiveArg(cm.Text, InvalidatesPragma); ok {
+				if fd.Recv == nil {
+					bad(cm.Pos(), "//dophy:invalidates on %s, which has no receiver whose borrows it could revoke", fd.Name.Name)
+					continue
+				}
+				if fn != nil {
+					bi.invalidates[fn] = cm.Pos()
+				}
+			}
+		}
+	}
+}
+
+// borrowDiags runs (once) the whole-module borrow analysis and caches the
+// diagnostics for per-package replay by the borrowspan rule.
+func (m *Module) borrowDiags() []contractDiag {
+	if m.bwDone {
+		return m.bwDiags
+	}
+	m.bwDone = true
+	bi := m.borrowInfoOf()
+	diags := append([]contractDiag{}, bi.annDiags...)
+	if len(bi.returns) > 0 || len(bi.invalidates) > 0 {
+		cg := m.CallGraph()
+		ci := m.contractInfo()
+		for _, n := range cg.order {
+			if n.Decl.Body == nil {
+				continue
+			}
+			bw := &bwChecker{mod: m, info: bi, con: ci, node: n}
+			bw.check()
+			diags = append(diags, bw.diags...)
+		}
+	}
+	m.bwDiags = diags
+	return diags
+}
+
+// bwCreate is one borrow creation: a call to a returns-borrowed method.
+type bwCreate struct {
+	call     *ast.CallExpr
+	sel      *ast.SelectorExpr
+	pos      token.Pos
+	recvPath string
+	callee   *types.Func
+}
+
+// bwInval is one invalidating call on a resolvable receiver path.
+type bwInval struct {
+	pos      token.Pos
+	recvPath string
+	name     string
+	line     int
+}
+
+// bwBindEvent is one binding of a variable: either a borrow creation or a
+// plain reassignment that replaces the borrow with an unrelated value.
+type bwBindEvent struct {
+	pos    token.Pos
+	create *bwCreate // nil for a plain rebind
+}
+
+// bwChecker scans one function body.
+type bwChecker struct {
+	mod  *Module
+	info *borrowInfo
+	con  *contractInfo
+	node *FuncNode
+
+	creates  []*bwCreate
+	invals   []bwInval
+	binds    map[types.Object][]bwBindEvent
+	bindPos  map[token.Pos]bool // ident positions that ARE bindings, not reads
+	uses     map[types.Object][]token.Pos
+	enclosed bool // the enclosing function is itself returns-borrowed
+	diags    []contractDiag
+}
+
+func (bw *bwChecker) report(pos token.Pos, format string, args ...any) {
+	bw.diags = append(bw.diags, contractDiag{rule: "borrowspan", pkg: bw.node.Pkg, pos: pos,
+		msg: fmt.Sprintf(format, args...)})
+}
+
+// bwPath renders a receiver expression as a root-object + field chain key
+// ("s", "est.nnls"), or "" when the receiver is not a simple chain.
+func bwPath(info *types.Info, e ast.Expr) string {
+	e = ast.Unparen(e)
+	switch v := e.(type) {
+	case *ast.Ident:
+		if obj := objectOf(info, v); obj != nil {
+			return fmt.Sprintf("%p", obj)
+		}
+	case *ast.SelectorExpr:
+		if s := info.Selections[v]; s != nil && s.Kind() != types.FieldVal {
+			return ""
+		}
+		if base := bwPath(info, v.X); base != "" {
+			return base + "." + v.Sel.Name
+		}
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			return bwPath(info, v.X)
+		}
+	}
+	return ""
+}
+
+// bwPathName is the human-readable form of the same chain, for messages.
+func bwPathName(e ast.Expr) string {
+	e = ast.Unparen(e)
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		if base := bwPathName(v.X); base != "" {
+			return base + "." + v.Sel.Name
+		}
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			return bwPathName(v.X)
+		}
+	}
+	return "?"
+}
+
+func (bw *bwChecker) check() {
+	info := bw.node.Pkg.Info
+	if fn, ok := info.Defs[bw.node.Decl.Name].(*types.Func); ok {
+		_, bw.enclosed = bw.info.returns[fn]
+	}
+	bw.binds = map[types.Object][]bwBindEvent{}
+	bw.bindPos = map[token.Pos]bool{}
+	bw.uses = map[types.Object][]token.Pos{}
+
+	// pendingBind defers creation resolution to after the walk: the AST
+	// visits Lhs idents before the Rhs calls that create the borrows.
+	type pendingBind struct {
+		obj    types.Object
+		pos    token.Pos
+		call   *ast.CallExpr
+		result int
+	}
+	var pending []pendingBind
+	createByCall := map[*ast.CallExpr]*bwCreate{}
+	var stack []ast.Node
+	ast.Inspect(bw.node.Decl.Body, func(x ast.Node) bool {
+		if x == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, x)
+		switch v := x.(type) {
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(v.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := info.Selections[sel]
+			if s == nil || s.Kind() != types.MethodVal {
+				return true
+			}
+			callee, _ := s.Obj().(*types.Func)
+			if callee == nil {
+				return true
+			}
+			path := bwPath(info, sel.X)
+			if _, isCreate := bw.info.returns[callee]; isCreate {
+				c := &bwCreate{call: v, sel: sel, pos: v.Pos(), recvPath: path, callee: callee}
+				bw.creates = append(bw.creates, c)
+				createByCall[v] = c
+				bw.checkStoreContext(v, stack, c, nil)
+			}
+			if _, isInval := bw.info.invalidates[callee]; isInval && path != "" {
+				bw.invals = append(bw.invals, bwInval{pos: v.Pos(), recvPath: path, name: callee.Name(),
+					line: bw.mod.Fset.Position(v.Pos()).Line})
+			}
+		case *ast.Ident:
+			obj, _ := objectOf(info, v).(*types.Var)
+			if obj == nil {
+				return true
+			}
+			// Is this ident a binding target (Lhs of an assignment)?
+			if as, i := bw.lhsOf(stack); as != nil {
+				pb := pendingBind{obj: obj, pos: v.Pos()}
+				if len(as.Rhs) == len(as.Lhs) {
+					pb.call, _ = ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+				} else if len(as.Rhs) == 1 {
+					pb.call, _ = ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+					pb.result = i
+				}
+				pending = append(pending, pb)
+				bw.bindPos[v.Pos()] = true
+				return true
+			}
+			bw.uses[obj] = append(bw.uses[obj], v.Pos())
+		}
+		return true
+	})
+	for _, pb := range pending {
+		var create *bwCreate
+		if pb.call != nil {
+			create = bw.resolveCreate(createByCall, pb.call, pb.result, info)
+		}
+		bw.binds[pb.obj] = append(bw.binds[pb.obj], bwBindEvent{pos: pb.pos, create: create})
+	}
+
+	bw.checkBoundBorrows()
+}
+
+// lhsOf reports whether the innermost statement context makes the current
+// ident (top of stack) an assignment target, and at which Lhs index.
+func (bw *bwChecker) lhsOf(stack []ast.Node) (*ast.AssignStmt, int) {
+	id := stack[len(stack)-1]
+	for pi := len(stack) - 2; pi >= 0; pi-- {
+		switch p := stack[pi].(type) {
+		case *ast.ParenExpr:
+			id = p
+			continue
+		case *ast.AssignStmt:
+			for i, lhs := range p.Lhs {
+				if lhs == id {
+					return p, i
+				}
+			}
+			return nil, 0
+		default:
+			return nil, 0
+		}
+	}
+	return nil, 0
+}
+
+// resolveCreate maps an RHS call to a creation if its result-th result is
+// reference-typed (only those bind borrows; an error result does not).
+func (bw *bwChecker) resolveCreate(byCall map[*ast.CallExpr]*bwCreate, call *ast.CallExpr, result int, info *types.Info) *bwCreate {
+	c := byCall[call]
+	if c == nil {
+		return nil
+	}
+	sig, ok := c.callee.Type().(*types.Signature)
+	if !ok || result >= sig.Results().Len() {
+		return nil
+	}
+	if !isRefType(sig.Results().At(result).Type()) {
+		return nil
+	}
+	return c
+}
+
+// transferSanctioned reports whether the statement at pos carries (or
+// follows) a //dophy:transfers pragma, which hands the borrow off wholesale.
+func (bw *bwChecker) transferSanctioned(stack []ast.Node) bool {
+	var stmt ast.Stmt
+	for pi := len(stack) - 1; pi >= 0; pi-- {
+		if s, ok := stack[pi].(ast.Stmt); ok {
+			stmt = s
+			break
+		}
+	}
+	if stmt == nil {
+		return false
+	}
+	p := bw.mod.Fset.Position(stmt.Pos())
+	for _, ta := range bw.con.transfers {
+		if ta.pkg == bw.node.Pkg && ta.file == p.Filename && (ta.line == p.Line || ta.line == p.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkStoreContext flags contexts that retain an alias to a borrowed
+// value. node is either the creation call itself (direct use) or an ident
+// bound to a borrow; c describes the borrow.
+func (bw *bwChecker) checkStoreContext(node ast.Expr, stack []ast.Node, c *bwCreate, obj types.Object) {
+	info := bw.node.Pkg.Info
+	what := fmt.Sprintf("the result of %s (borrowed from %s's scratch)", c.callee.Name(), bwPathName(c.sel.X))
+	if obj != nil {
+		what = fmt.Sprintf("%s (borrowed from %s's scratch by %s)", obj.Name(), bwPathName(c.sel.X), c.callee.Name())
+	}
+	// Find the effective parent, skipping parens.
+	n := ast.Node(node)
+	pi := len(stack) - 2
+	for pi >= 0 {
+		if pe, ok := stack[pi].(*ast.ParenExpr); ok {
+			n, pi = pe, pi-1
+			continue
+		}
+		break
+	}
+	if pi < 0 {
+		return
+	}
+	switch p := stack[pi].(type) {
+	case *ast.AssignStmt:
+		if len(p.Lhs) != len(p.Rhs) {
+			return
+		}
+		for i, rhs := range p.Rhs {
+			if rhs != n {
+				continue
+			}
+			if _, isIdent := ast.Unparen(p.Lhs[i]).(*ast.Ident); isIdent {
+				continue // plain rebinding; tracked as a borrow binding
+			}
+			if bw.transferSanctioned(stack) {
+				continue
+			}
+			bw.report(node.Pos(), "%s is stored into %s, retaining the alias; copy it out (or annotate the hand-off //dophy:transfers)",
+				what, bwPathName(p.Lhs[i]))
+		}
+	case *ast.KeyValueExpr:
+		if p.Value != n {
+			return
+		}
+		if pi-1 >= 0 {
+			if _, isLit := stack[pi-1].(*ast.CompositeLit); isLit && !bw.transferSanctioned(stack) {
+				bw.report(node.Pos(), "%s is stored into a composite literal, retaining the alias past the receiver's next reuse; copy it out", what)
+			}
+		}
+	case *ast.CompositeLit:
+		if !bw.transferSanctioned(stack) {
+			bw.report(node.Pos(), "%s is stored into a composite literal, retaining the alias past the receiver's next reuse; copy it out", what)
+		}
+	case *ast.SendStmt:
+		if p.Value == n && !bw.transferSanctioned(stack) {
+			bw.report(node.Pos(), "%s is sent over a channel, handing the alias to another goroutine; copy it out (or annotate the send //dophy:transfers)", what)
+		}
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(p.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" || !isBuiltin(info.Uses[id]) {
+			return // ordinary call argument: a read, the callee must not retain it
+		}
+		for i, arg := range p.Args {
+			if arg != n || i == 0 {
+				continue
+			}
+			if p.Ellipsis.IsValid() && i == len(p.Args)-1 {
+				// append(dst, x...): element-wise copy. Only flag when the
+				// elements themselves are references (copying []T of
+				// pointers still retains aliases).
+				if tv, ok := info.Types[node]; ok {
+					if sl, ok := tv.Type.Underlying().(*types.Slice); ok && !isRefType(sl.Elem()) {
+						continue
+					}
+				}
+				bw.report(node.Pos(), "%s is spread into an append, but its elements are references: the aliases survive the copy", what)
+				continue
+			}
+			if !bw.transferSanctioned(stack) {
+				bw.report(node.Pos(), "%s is appended (aliased, not copied) into a longer-lived slice; append a copy instead", what)
+			}
+		}
+	case *ast.ReturnStmt:
+		if !bw.enclosed {
+			bw.report(node.Pos(), "%s is returned from %s, which is not annotated //dophy:returns borrowed(recv); the caller cannot know the value is scratch",
+				what, bw.node.Fn.Name())
+		}
+	}
+}
+
+// checkBoundBorrows resolves, per use of a borrow-bound variable, whether
+// the latest binding is a live borrow, then applies the read-after-
+// invalidate and store checks.
+func (bw *bwChecker) checkBoundBorrows() {
+	info := bw.node.Pkg.Info
+	for obj, events := range bw.binds {
+		hasBorrow := false
+		for _, ev := range events {
+			if ev.create != nil {
+				hasBorrow = true
+			}
+		}
+		if !hasBorrow {
+			continue
+		}
+		sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+		uses := bw.uses[obj]
+		sort.Slice(uses, func(i, j int) bool { return uses[i] < uses[j] })
+		for _, use := range uses {
+			// Latest binding at or before this use.
+			var cur *bwBindEvent
+			for i := range events {
+				if events[i].pos <= use {
+					cur = &events[i]
+				}
+			}
+			if cur == nil || cur.create == nil || cur.create.recvPath == "" {
+				continue
+			}
+			c := cur.create
+			for _, inv := range bw.invals {
+				if inv.recvPath != c.recvPath || inv.pos <= c.pos || inv.pos >= use {
+					continue
+				}
+				bw.report(use, "%s was borrowed from %s's scratch (line %d) but %s was called on line %d, invalidating it; read it before the next %s or copy it out",
+					obj.Name(), bwPathName(c.sel.X),
+					bw.mod.Fset.Position(c.pos).Line, inv.name, inv.line, inv.name)
+				break
+			}
+		}
+	}
+	// Store checks for bound borrows need the parent context, which the
+	// first pass recorded positionally; re-walk with the binding map known.
+	var stack []ast.Node
+	ast.Inspect(bw.node.Decl.Body, func(x ast.Node) bool {
+		if x == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, x)
+		id, ok := x.(*ast.Ident)
+		if !ok || bw.bindPos[id.Pos()] {
+			return true
+		}
+		obj, _ := objectOf(info, id).(*types.Var)
+		if obj == nil {
+			return true
+		}
+		events := bw.binds[obj]
+		var cur *bwBindEvent
+		for i := range events {
+			if events[i].pos <= id.Pos() {
+				cur = &events[i]
+			}
+		}
+		if cur == nil || cur.create == nil {
+			return true
+		}
+		bw.checkStoreContext(id, stack, cur.create, obj)
+		return true
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Rule borrowspan: borrowed scratch never outlives its validity.
+//
+// //dophy:returns borrowed(recv) methods hand out aliases of receiver-owned
+// scratch; //dophy:invalidates methods revoke them. The rule catches reads
+// after revocation and stores that retain the alias — the generalisation of
+// poolescape/sendown from pooled events to every scratch-reusing API.
+// ---------------------------------------------------------------------------
+
+type ruleBorrowSpan struct{}
+
+func (ruleBorrowSpan) Name() string { return "borrowspan" }
+
+func (ruleBorrowSpan) Check(m *Module, pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	for _, d := range m.borrowDiags() {
+		if d.pkg == pkg && d.rule == "borrowspan" {
+			report(d.pos, "%s", d.msg)
+		}
+	}
+}

@@ -34,7 +34,7 @@ func AllRules() []Rule {
 	return []Rule{
 		ruleRand{}, ruleWallTime{}, ruleMapRange{}, ruleGoStmt{}, rulePoolEscape{}, ruleDenseBound{},
 		ruleHotPathAlloc{}, ruleDetermFlow{}, ruleIdxDomain{}, ruleValRange{}, ruleExhaustive{},
-		ruleOwnerCross{}, ruleSendOwn{}, ruleBarrierOrder{},
+		ruleOwnerCross{}, ruleSendOwn{}, ruleBarrierOrder{}, ruleLifecycle{}, ruleBorrowSpan{},
 	}
 }
 

@@ -28,6 +28,7 @@ type bank struct {
 
 type estimator struct {
 	sum float64
+	out []float64
 }
 
 func (e *estimator) accumulate(vals []float64) float64 {
@@ -35,6 +36,22 @@ func (e *estimator) accumulate(vals []float64) float64 {
 		e.sum += v
 	}
 	return e.sum
+}
+
+// estimate mirrors the real estimators' borrowed-scratch contract: the
+// returned slice aliases e.out and is rewritten by the next estimate.
+//
+//dophy:returns borrowed(recv) -- the result aliases e.out until the next estimate
+//dophy:invalidates
+func (e *estimator) estimate(vals []float64) []float64 {
+	if len(e.out) < len(vals) {
+		e.out = make([]float64, len(vals))
+	}
+	o := e.out[:len(vals)]
+	for i, v := range vals {
+		o[i] = v
+	}
+	return o
 }
 
 func newBank() *bank { return &bank{est: &estimator{}} }
@@ -70,6 +87,66 @@ func produce(cuts chan<- *cut, n int) {
 	}
 	_ = sent
 	close(cuts)
+}
+
+// keepRaw retains epoch k's borrowed estimate past epoch k+1's estimate
+// call — by the second read the estimator scratch has been rewritten.
+func keepRaw(b *bank, c1, c2 *cut) float64 {
+	e1 := b.est.estimate(c1.vals)
+	e2 := b.est.estimate(c2.vals)
+	return e1[0] + e2[0] // want "e1 was borrowed from b.est's scratch"
+}
+
+// keepCopy is the shape the real estBank uses: one explicit copy at the
+// retention boundary, then the scratch may be rewritten freely.
+func keepCopy(b *bank, c1, c2 *cut) float64 {
+	loss := append([]float64(nil), b.est.estimate(c1.vals)...)
+	e2 := b.est.estimate(c2.vals)
+	return loss[0] + e2[0]
+}
+
+// publishRaw sends the borrow itself across the stage boundary: the
+// consumer would race the next estimate's rewrite of the scratch.
+func publishRaw(b *bank, c *cut, outs chan<- []float64) {
+	outs <- b.est.estimate(c.vals) // want "sent over a channel"
+}
+
+// publishCopy hands off an owned copy instead.
+func publishCopy(b *bank, c *cut, outs chan<- []float64) {
+	outs <- append([]float64(nil), b.est.estimate(c.vals)...)
+}
+
+// session mirrors experiment.Session: subscriptions attach only before the
+// first epoch runs.
+//
+//dophy:states fresh: Subscribe -> fresh, RunEpoch -> running; running: RunEpoch -> running
+type session struct {
+	n int
+}
+
+func newSession() *session { return &session{} }
+
+// Subscribe registers a consumer; legal only before the first RunEpoch.
+func (s *session) Subscribe() { s.n++ }
+
+// RunEpoch advances the pipeline one epoch.
+func (s *session) RunEpoch() { s.n++ }
+
+// lateSubscribe attaches a consumer after the pipeline started: the epoch
+// it missed can never be replayed.
+func lateSubscribe() {
+	s := newSession()
+	s.RunEpoch()
+	s.Subscribe() // want "Subscribe called in state"
+}
+
+// fullSession is the clean order.
+func fullSession() int {
+	s := newSession()
+	s.Subscribe()
+	s.RunEpoch()
+	s.RunEpoch()
+	return s.n
 }
 
 // Run wires the stages together the way RunPipelined does.

@@ -1,0 +1,1103 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"maps"
+	"strings"
+)
+
+// This file is the typestate layer: a declarative lifecycle contract on
+// types whose methods are only legal in certain orders, checked
+// flow-sensitively per function by the lifecycle rule.
+//
+// Annotation grammar (in a type declaration's doc comment):
+//
+//	//dophy:states <spec> [-- <reason>]
+//
+//	spec   := clause { ";" clause }
+//	clause := state ":" trans { "," trans }
+//	trans  := method { "|" method } "->" state
+//
+// The first clause's state is the initial state a freshly constructed value
+// is in. Every method named anywhere in the spec is "tracked": calling a
+// tracked method in a state with no transition for it is a lifecycle
+// violation. Methods the spec never mentions are state-neutral and may be
+// called in any state. A state that appears only as a transition target is
+// a terminal state: tracked methods cannot be called on the value again.
+//
+// The checker is deliberately first-order about where values come from: a
+// local enters the initial state only when it is visibly constructed — a
+// composite literal, new(T), a plain `var x T` declaration, or a call to a
+// New*/new* constructor returning T or *T. Values from struct fields,
+// parameters and other calls are in an unknown state and never diagnosed.
+// Escapes (address-of into a call, stores into fields or containers,
+// closure captures, channel sends) drop tracking. When a tracked local is
+// passed to (or is the receiver of) another module function, the checker
+// consults a call-graph summary: if the callee applies a straight-line
+// sequence of tracked methods to that parameter, the sequence is stepped
+// through the DFA at the call site; any other callee shape conservatively
+// drops tracking.
+
+// StatesPragma declares a method-call-order DFA on a type.
+const StatesPragma = "//dophy:states"
+
+// dfaTrans is one "methods -> target" group inside a clause.
+type dfaTrans struct {
+	methods []string
+	target  string
+}
+
+// dfaClause is one "state: transitions" clause.
+type dfaClause struct {
+	state string
+	rules []dfaTrans
+}
+
+// dfaSpec is a parsed, validated //dophy:states specification.
+type dfaSpec struct {
+	clauses []dfaClause
+	// states lists every state (clause heads first, in declaration order,
+	// then target-only terminal states in first-reference order).
+	states []string
+	// trans maps state -> tracked method -> target state.
+	trans map[string]map[string]string
+	// tracked is the set of methods named anywhere in the spec.
+	tracked map[string]bool
+}
+
+// initial returns the DFA's start state.
+func (d *dfaSpec) initial() string { return d.clauses[0].state }
+
+// step applies one tracked method; ok is false when the state has no
+// transition for it.
+func (d *dfaSpec) step(state, method string) (string, bool) {
+	t, ok := d.trans[state][method]
+	return t, ok
+}
+
+// legalFrom lists the tracked methods callable in a state, for diagnostics.
+func (d *dfaSpec) legalFrom(state string) string {
+	for _, c := range d.clauses {
+		if c.state != state {
+			continue
+		}
+		var ms []string
+		for _, r := range c.rules {
+			ms = append(ms, r.methods...)
+		}
+		return strings.Join(ms, ", ")
+	}
+	return "none (terminal state)"
+}
+
+// String prints the spec in canonical form. Parsing the result yields a
+// structurally identical spec (the FuzzStateDFA round-trip property).
+func (d *dfaSpec) String() string {
+	var sb strings.Builder
+	for i, c := range d.clauses {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		sb.WriteString(c.state)
+		sb.WriteString(": ")
+		for j, r := range c.rules {
+			if j > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(strings.Join(r.methods, "|"))
+			sb.WriteString(" -> ")
+			sb.WriteString(r.target)
+		}
+	}
+	return sb.String()
+}
+
+// specError is a parse/validation failure with a byte offset into the spec
+// text, so diagnostics can point at the offending token.
+type specError struct {
+	off int
+	msg string
+}
+
+func (e *specError) Error() string { return e.msg }
+
+// parseStateDFA parses and validates a //dophy:states specification (the
+// part after the directive, reason suffix already stripped).
+func parseStateDFA(spec string) (*dfaSpec, error) {
+	d := &dfaSpec{trans: map[string]map[string]string{}, tracked: map[string]bool{}}
+	if strings.TrimSpace(spec) == "" {
+		return nil, &specError{0, "empty spec: want 'state: Method -> state, ...; ...'"}
+	}
+	seen := map[string]bool{}
+	off := 0
+	for _, clause := range splitKeepOffsets(spec, ';') {
+		off = clause.off
+		text := clause.text
+		if strings.TrimSpace(text) == "" {
+			return nil, &specError{off, "empty clause: want 'state: Method -> state'"}
+		}
+		head, rest, found := strings.Cut(text, ":")
+		if !found {
+			return nil, &specError{off, fmt.Sprintf("clause %q has no ':' separating the state from its transitions", strings.TrimSpace(text))}
+		}
+		state, err := identAt(head, off)
+		if err != nil {
+			return nil, err
+		}
+		if seen[state] {
+			return nil, &specError{off, fmt.Sprintf("duplicate clause for state %q", state)}
+		}
+		seen[state] = true
+		c := dfaClause{state: state}
+		d.trans[state] = map[string]string{}
+		restOff := off + len(head) + 1
+		for _, tr := range splitKeepOffsets(rest, ',') {
+			lhs, target, found := strings.Cut(tr.text, "->")
+			if !found {
+				return nil, &specError{restOff + tr.off, fmt.Sprintf("transition %q has no '->'", strings.TrimSpace(tr.text))}
+			}
+			tgt, err := identAt(target, restOff+tr.off+len(lhs)+2)
+			if err != nil {
+				return nil, err
+			}
+			var t dfaTrans
+			t.target = tgt
+			for _, me := range splitKeepOffsets(lhs, '|') {
+				method, err := identAt(me.text, restOff+tr.off+me.off)
+				if err != nil {
+					return nil, err
+				}
+				if _, dup := d.trans[state][method]; dup {
+					return nil, &specError{restOff + tr.off + me.off, fmt.Sprintf("state %q declares two transitions for method %s", state, method)}
+				}
+				d.trans[state][method] = tgt
+				d.tracked[method] = true
+				t.methods = append(t.methods, method)
+			}
+			c.rules = append(c.rules, t)
+		}
+		d.clauses = append(d.clauses, c)
+		d.states = append(d.states, state)
+	}
+	// Target-only states are terminal; record them after the clause heads.
+	for _, c := range d.clauses {
+		for _, r := range c.rules {
+			if !seen[r.target] {
+				seen[r.target] = true
+				d.states = append(d.states, r.target)
+			}
+		}
+	}
+	// Every state must be reachable from the initial state.
+	reach := map[string]bool{d.initial(): true}
+	for changed := true; changed; {
+		changed = false
+		for state, ts := range d.trans {
+			if !reach[state] {
+				continue
+			}
+			for _, tgt := range ts {
+				if !reach[tgt] {
+					reach[tgt] = true
+					changed = true
+				}
+			}
+		}
+	}
+	for _, s := range d.states {
+		if !reach[s] {
+			return nil, &specError{0, fmt.Sprintf("state %q is unreachable from the initial state %q", s, d.initial())}
+		}
+	}
+	return d, nil
+}
+
+// offsetPart is one separator-delimited piece of a spec with its offset.
+type offsetPart struct {
+	off  int
+	text string
+}
+
+func splitKeepOffsets(s string, sep byte) []offsetPart {
+	var out []offsetPart
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == sep {
+			out = append(out, offsetPart{off: start, text: s[start:i]})
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// identAt trims s and requires a single Go-identifier-shaped token,
+// reporting errors at base plus the token's offset within s.
+func identAt(s string, base int) (string, error) {
+	lead := len(s) - len(strings.TrimLeft(s, " \t"))
+	tok := strings.TrimSpace(s)
+	if tok == "" {
+		return "", &specError{base + lead, "missing name"}
+	}
+	for i, r := range tok {
+		alpha := r == '_' || ('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z')
+		if !alpha && !(i > 0 && '0' <= r && r <= '9') {
+			return "", &specError{base + lead, fmt.Sprintf("%q is not a valid state or method name", tok)}
+		}
+	}
+	return tok, nil
+}
+
+// stateDFA binds a parsed spec to the annotated type.
+type stateDFA struct {
+	tn   *types.TypeName
+	spec *dfaSpec
+	pos  token.Pos
+}
+
+// typestateInfo is the module's parsed //dophy:states annotation set.
+type typestateInfo struct {
+	dfas     map[*types.TypeName]*stateDFA
+	annDiags []contractDiag
+}
+
+// typestateInfoOf parses (once) every states annotation in the module.
+func (m *Module) typestateInfoOf() *typestateInfo {
+	if m.tsInfo != nil {
+		return m.tsInfo
+	}
+	ti := &typestateInfo{dfas: map[*types.TypeName]*stateDFA{}}
+	m.tsInfo = ti
+	for _, pkg := range m.Packages {
+		for _, file := range pkg.Files {
+			ti.collectFile(pkg, file)
+		}
+	}
+	return ti
+}
+
+func (ti *typestateInfo) collectFile(pkg *Package, file *File) {
+	for _, decl := range file.AST.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			docs := []*ast.CommentGroup{ts.Doc, ts.Comment}
+			if len(gd.Specs) == 1 {
+				docs = append(docs, gd.Doc)
+			}
+			for _, doc := range docs {
+				if doc == nil {
+					continue
+				}
+				for _, cm := range doc.List {
+					arg, ok := directiveArg(cm.Text, StatesPragma)
+					if !ok {
+						continue
+					}
+					ti.addSpec(pkg, ts, cm, arg)
+				}
+			}
+		}
+	}
+}
+
+// addSpec parses one states annotation and registers (or rejects) it.
+func (ti *typestateInfo) addSpec(pkg *Package, ts *ast.TypeSpec, cm *ast.Comment, arg string) {
+	bad := func(pos token.Pos, format string, args ...any) {
+		ti.annDiags = append(ti.annDiags, contractDiag{rule: "lifecycle", pkg: pkg, pos: pos,
+			msg: fmt.Sprintf(format, args...)})
+	}
+	specText, _, _ := strings.Cut(arg, "--")
+	// Byte offset of the spec within the comment text, for positioned
+	// parse errors.
+	specBase := cm.Pos() + token.Pos(strings.Index(cm.Text, arg))
+	d, err := parseStateDFA(strings.TrimSpace(specText))
+	if err != nil {
+		pos := cm.Pos()
+		if se, ok := err.(*specError); ok {
+			pos = specBase + token.Pos(se.off)
+		}
+		bad(pos, "malformed //dophy:states: %s", err)
+		return
+	}
+	tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	if _, dup := ti.dfas[tn]; dup {
+		bad(cm.Pos(), "type %s already has a //dophy:states contract; merge the specs", tn.Name())
+		return
+	}
+	// Every tracked method must actually exist on T or *T, so the contract
+	// cannot silently drift from the type's method set.
+	mset := types.NewMethodSet(types.NewPointer(tn.Type()))
+	for method := range d.tracked {
+		found := false
+		for i := 0; i < mset.Len(); i++ {
+			if mset.At(i).Obj().Name() == method {
+				found = true
+				break
+			}
+		}
+		if !found {
+			bad(cm.Pos(), "//dophy:states names method %s, but %s has no such method", method, tn.Name())
+			return
+		}
+	}
+	ti.dfas[tn] = &stateDFA{tn: tn, spec: d, pos: cm.Pos()}
+}
+
+// dfaFor returns the DFA governing type t (through pointers), if any.
+func (ti *typestateInfo) dfaFor(t types.Type) *stateDFA {
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return ti.dfas[named.Obj()]
+}
+
+// typestateDiags runs (once) the whole-module lifecycle analysis and caches
+// the diagnostics; the lifecycle rule replays them per package so waiver
+// pragmas apply — the same pattern the contract rules use.
+func (m *Module) typestateDiags() []contractDiag {
+	if m.tsDone {
+		return m.tsDiags
+	}
+	m.tsDone = true
+	ti := m.typestateInfoOf()
+	diags := append([]contractDiag{}, ti.annDiags...)
+	if len(ti.dfas) > 0 {
+		tc := &tsChecker{mod: m, info: ti, cg: m.CallGraph(), summaries: map[summaryKey]*tsSummary{}}
+		for _, n := range tc.cg.order {
+			if n.Decl.Body == nil {
+				continue
+			}
+			tc.node = n
+			tc.execStmts(n.Decl.Body.List, tsEnv{})
+		}
+		diags = append(diags, tc.diags...)
+	}
+	m.tsDiags = diags
+	return diags
+}
+
+// tsVal is a tracked local's current DFA state.
+type tsVal struct {
+	dfa   *stateDFA
+	state string
+}
+
+// tsEnv maps tracked locals to their known states. Absence means unknown:
+// no transitions are checked and no diagnostics are possible.
+type tsEnv map[types.Object]tsVal
+
+// tsChecker is the per-module lifecycle walker.
+type tsChecker struct {
+	mod  *Module
+	info *typestateInfo
+	cg   *CallGraph
+	node *FuncNode
+
+	summaries map[summaryKey]*tsSummary
+	diags     []contractDiag
+}
+
+func (tc *tsChecker) report(pos token.Pos, format string, args ...any) {
+	tc.diags = append(tc.diags, contractDiag{rule: "lifecycle", pkg: tc.node.Pkg, pos: pos,
+		msg: fmt.Sprintf(format, args...)})
+}
+
+func (tc *tsChecker) execStmts(stmts []ast.Stmt, env tsEnv) {
+	for _, s := range stmts {
+		tc.execStmt(s, env)
+	}
+}
+
+// execStmt interprets one statement over env: creations enter the initial
+// state, tracked method calls step the DFA, escapes drop tracking, and
+// branch joins keep only states agreed on by every path.
+func (tc *tsChecker) execStmt(s ast.Stmt, env tsEnv) {
+	switch v := s.(type) {
+	case *ast.DeclStmt:
+		gd, ok := v.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, val := range vs.Values {
+				tc.execExpr(val, env)
+			}
+			if len(vs.Values) == 0 && vs.Type != nil {
+				// `var x T`: the zero value of an annotated value type is a
+				// fresh construction.
+				if tv, ok := tc.node.Pkg.Info.Types[vs.Type]; ok {
+					if dfa := tc.info.dfaFor(tv.Type); dfa != nil {
+						if _, isPtr := tv.Type.(*types.Pointer); !isPtr {
+							for _, name := range vs.Names {
+								if obj := tc.node.Pkg.Info.Defs[name]; obj != nil {
+									env[obj] = tsVal{dfa: dfa, state: dfa.spec.initial()}
+								}
+							}
+						}
+					}
+				}
+				continue
+			}
+			tc.bind(vs.Names, vs.Values, env)
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range v.Rhs {
+			tc.execExpr(rhs, env)
+		}
+		var names []*ast.Ident
+		lhsOK := true
+		for _, lhs := range v.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				lhsOK = false
+				tc.execExpr(lhs, env)
+				continue
+			}
+			names = append(names, id)
+		}
+		if lhsOK && len(v.Lhs) == len(v.Rhs) {
+			tc.bind(names, v.Rhs, env)
+			return
+		}
+		// Tuple or partially non-ident assignment: every ident target is
+		// rebound to an unknown-state value.
+		for _, id := range names {
+			if obj := objectOf(tc.node.Pkg.Info, id); obj != nil {
+				delete(env, obj)
+			}
+		}
+	case *ast.ExprStmt:
+		tc.execExpr(v.X, env)
+	case *ast.IfStmt:
+		if v.Init != nil {
+			tc.execStmt(v.Init, env)
+		}
+		tc.execExpr(v.Cond, env)
+		thenEnv := maps.Clone(env)
+		tc.execStmt(v.Body, thenEnv)
+		elseEnv := maps.Clone(env)
+		if v.Else != nil {
+			tc.execStmt(v.Else, elseEnv)
+		}
+		joinInto(env, thenEnv, elseEnv)
+	case *ast.BlockStmt:
+		tc.execStmts(v.List, env)
+	case *ast.ForStmt:
+		if v.Init != nil {
+			tc.execStmt(v.Init, env)
+		}
+		if v.Cond != nil {
+			tc.execExpr(v.Cond, env)
+		}
+		tc.havocLoop(v.Body, v.Post, env)
+	case *ast.RangeStmt:
+		tc.execExpr(v.X, env)
+		for _, e := range []ast.Expr{v.Key, v.Value} {
+			if id, ok := e.(*ast.Ident); ok && e != nil {
+				if obj := objectOf(tc.node.Pkg.Info, id); obj != nil {
+					delete(env, obj)
+				}
+			}
+		}
+		tc.havocLoop(v.Body, nil, env)
+	case *ast.SwitchStmt:
+		if v.Init != nil {
+			tc.execStmt(v.Init, env)
+		}
+		if v.Tag != nil {
+			tc.execExpr(v.Tag, env)
+		}
+		tc.execClauses(v.Body, env)
+	case *ast.TypeSwitchStmt:
+		if v.Init != nil {
+			tc.execStmt(v.Init, env)
+		}
+		tc.execStmt(v.Assign, env)
+		tc.execClauses(v.Body, env)
+	case *ast.SelectStmt:
+		tc.execClauses(v.Body, env)
+	case *ast.ReturnStmt:
+		for _, e := range v.Results {
+			tc.execExpr(e, env)
+		}
+	case *ast.SendStmt:
+		tc.execExpr(v.Chan, env)
+		tc.execExpr(v.Value, env)
+	case *ast.GoStmt:
+		// The call runs concurrently: everything it can reach leaves the
+		// current flow's control.
+		tc.dropIdents(v.Call, env)
+	case *ast.DeferStmt:
+		tc.dropIdents(v.Call, env)
+	case *ast.IncDecStmt:
+		tc.execExpr(v.X, env)
+	case *ast.LabeledStmt:
+		tc.execStmt(v.Stmt, env)
+	}
+}
+
+// execClauses runs each case/comm clause of a switch-like body on its own
+// clone and joins the results (the no-match path keeps env as-is).
+func (tc *tsChecker) execClauses(body *ast.BlockStmt, env tsEnv) {
+	outs := []tsEnv{maps.Clone(env)}
+	for _, cl := range body.List {
+		e := maps.Clone(env)
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			for _, x := range c.List {
+				tc.execExpr(x, e)
+			}
+			tc.execStmts(c.Body, e)
+		case *ast.CommClause:
+			if c.Comm != nil {
+				tc.execStmt(c.Comm, e)
+			}
+			tc.execStmts(c.Body, e)
+		}
+		outs = append(outs, e)
+	}
+	joinInto(env, outs...)
+}
+
+// havocLoop drops every tracked local the loop body (or post statement)
+// might touch, then interprets the body once so values constructed inside
+// the loop are still checked. The body may run zero or many times; only
+// facts that survive both are kept.
+func (tc *tsChecker) havocLoop(body *ast.BlockStmt, post ast.Stmt, env tsEnv) {
+	info := tc.node.Pkg.Info
+	scan := func(n ast.Node) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			id, ok := x.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj := objectOf(info, id); obj != nil {
+				delete(env, obj)
+			}
+			return true
+		})
+	}
+	scan(body)
+	if post != nil {
+		scan(post)
+	}
+	inner := maps.Clone(env)
+	tc.execStmts(body.List, inner)
+	if post != nil {
+		tc.execStmt(post, inner)
+	}
+}
+
+// joinInto replaces env with the agreement of the given branch outcomes.
+func joinInto(env tsEnv, branches ...tsEnv) {
+	first := branches[0]
+	for obj := range env {
+		delete(env, obj)
+	}
+	for obj, v := range first {
+		agreed := true
+		for _, b := range branches[1:] {
+			if bv, ok := b[obj]; !ok || bv != v {
+				agreed = false
+				break
+			}
+		}
+		if agreed {
+			env[obj] = v
+		}
+	}
+}
+
+// bind processes pairwise `lhs[i] = rhs[i]` bindings: a visible
+// construction enters the initial state, anything else clears tracking.
+func (tc *tsChecker) bind(names []*ast.Ident, values []ast.Expr, env tsEnv) {
+	info := tc.node.Pkg.Info
+	for i, id := range names {
+		obj := objectOf(info, id)
+		if obj == nil {
+			continue
+		}
+		delete(env, obj)
+		if i >= len(values) {
+			continue
+		}
+		if dfa := tc.initExprDFA(values[i]); dfa != nil {
+			env[obj] = tsVal{dfa: dfa, state: dfa.spec.initial()}
+		}
+	}
+}
+
+// initExprDFA reports the DFA whose initial state e visibly constructs:
+// composite literals, new(T), and New*/new* constructor calls.
+func (tc *tsChecker) initExprDFA(e ast.Expr) *stateDFA {
+	info := tc.node.Pkg.Info
+	e = ast.Unparen(e)
+	tv, ok := info.Types[e]
+	if !ok {
+		return nil
+	}
+	dfa := tc.info.dfaFor(tv.Type)
+	if dfa == nil {
+		return nil
+	}
+	switch v := e.(type) {
+	case *ast.CompositeLit:
+		return dfa
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			if _, isLit := ast.Unparen(v.X).(*ast.CompositeLit); isLit {
+				return dfa
+			}
+		}
+	case *ast.CallExpr:
+		switch fun := ast.Unparen(v.Fun).(type) {
+		case *ast.Ident:
+			if fun.Name == "new" && isBuiltin(info.Uses[fun]) {
+				return dfa
+			}
+			if isInitLike(fun.Name) {
+				return dfa
+			}
+		case *ast.SelectorExpr:
+			if isInitLike(fun.Sel.Name) {
+				return dfa
+			}
+		}
+	}
+	return nil
+}
+
+// execExpr interprets an expression: nested calls run in evaluation order,
+// tracked locals step their DFA at method calls, and any use the checker
+// cannot prove state-neutral drops tracking.
+func (tc *tsChecker) execExpr(e ast.Expr, env tsEnv) {
+	if e == nil {
+		return
+	}
+	info := tc.node.Pkg.Info
+	switch v := e.(type) {
+	case *ast.Ident:
+		// A bare use in a context no other case sanctioned: the value may
+		// alias away, so its state is no longer known.
+		if obj := info.Uses[v]; obj != nil {
+			delete(env, obj)
+		}
+	case *ast.ParenExpr:
+		tc.execExpr(v.X, env)
+	case *ast.SelectorExpr:
+		// Field reads (and reads through package selectors) are
+		// state-neutral; method values taken without a call are an escape
+		// of the receiver.
+		if sel := info.Selections[v]; sel != nil && sel.Kind() != types.FieldVal {
+			tc.execExpr(v.X, env)
+			return
+		}
+		if _, isIdent := ast.Unparen(v.X).(*ast.Ident); isIdent {
+			return // base of a field chain: state-neutral
+		}
+		tc.execExpr(v.X, env)
+	case *ast.CallExpr:
+		tc.execCall(v, env)
+	case *ast.StarExpr:
+		tc.execExpr(v.X, env)
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			// &x on its own is an alias; the sanctioned &x-as-argument form
+			// is intercepted by execCall before recursion reaches here.
+			tc.execExpr(v.X, env)
+			return
+		}
+		tc.execExpr(v.X, env)
+	case *ast.BinaryExpr:
+		tc.execExpr(v.X, env)
+		tc.execExpr(v.Y, env)
+	case *ast.IndexExpr:
+		tc.execExpr(v.X, env)
+		tc.execExpr(v.Index, env)
+	case *ast.IndexListExpr:
+		tc.execExpr(v.X, env)
+		for _, ix := range v.Indices {
+			tc.execExpr(ix, env)
+		}
+	case *ast.SliceExpr:
+		tc.execExpr(v.X, env)
+		tc.execExpr(v.Low, env)
+		tc.execExpr(v.High, env)
+		tc.execExpr(v.Max, env)
+	case *ast.TypeAssertExpr:
+		tc.execExpr(v.X, env)
+	case *ast.CompositeLit:
+		for _, elt := range v.Elts {
+			tc.execExpr(elt, env)
+		}
+	case *ast.KeyValueExpr:
+		tc.execExpr(v.Key, env)
+		tc.execExpr(v.Value, env)
+	case *ast.FuncLit:
+		// The closure may run at any time: captures leave this flow.
+		tc.dropIdents(v.Body, env)
+	}
+}
+
+// execCall applies one call's effect: receiver transitions for tracked
+// methods, callee summaries for tracked arguments, escapes for everything
+// the summary machinery cannot prove.
+func (tc *tsChecker) execCall(call *ast.CallExpr, env tsEnv) {
+	info := tc.node.Pkg.Info
+	fun := ast.Unparen(call.Fun)
+
+	// Receiver side.
+	var callee *types.Func
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if s := info.Selections[sel]; s != nil && s.Kind() == types.MethodVal {
+			callee, _ = s.Obj().(*types.Func)
+			recv := ast.Unparen(sel.X)
+			if id, ok := recv.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					if v, tracked := env[obj]; tracked {
+						tc.applyMethod(call, obj, v, callee, env)
+					}
+				}
+			} else {
+				tc.execExpr(sel.X, env)
+			}
+		} else {
+			// Package-qualified function or field-typed callee.
+			tc.execExpr(sel.X, env)
+			if obj, ok := info.Uses[sel.Sel].(*types.Func); ok {
+				callee = obj
+			}
+		}
+	} else if id, ok := fun.(*ast.Ident); ok {
+		if obj, ok := info.Uses[id].(*types.Func); ok {
+			callee = obj
+		}
+	} else {
+		tc.execExpr(fun, env)
+	}
+
+	// Argument side: a tracked local passed by value or address goes
+	// through the callee's parameter summary; other arguments are ordinary
+	// expressions.
+	for i, arg := range call.Args {
+		a := ast.Unparen(arg)
+		if ue, ok := a.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+			a = ast.Unparen(ue.X)
+		}
+		id, ok := a.(*ast.Ident)
+		if !ok {
+			tc.execExpr(arg, env)
+			continue
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			continue
+		}
+		v, tracked := env[obj]
+		if !tracked {
+			continue
+		}
+		tc.applyArgSummary(call, obj, v, callee, i, env)
+	}
+}
+
+// applyMethod steps a tracked receiver through one method call.
+func (tc *tsChecker) applyMethod(call *ast.CallExpr, obj types.Object, v tsVal, callee *types.Func, env tsEnv) {
+	if callee == nil {
+		delete(env, obj)
+		return
+	}
+	name := callee.Name()
+	if v.dfa.spec.tracked[name] {
+		next, ok := v.dfa.spec.step(v.state, name)
+		if !ok {
+			tc.report(call.Pos(), "%s.%s called in state %q; the //dophy:states contract of %s allows here: %s",
+				obj.Name(), name, v.state, v.dfa.tn.Name(), v.dfa.spec.legalFrom(v.state))
+			delete(env, obj)
+			return
+		}
+		env[obj] = tsVal{dfa: v.dfa, state: next}
+		return
+	}
+	// Untracked method: its summary tells us which tracked methods it
+	// applies to the receiver, if that effect is a straight line.
+	tc.applySummary(call, obj, v, callee, -1, env)
+}
+
+// applyArgSummary steps a tracked argument through the callee's parameter
+// summary (dropping tracking when no summary is computable).
+func (tc *tsChecker) applyArgSummary(call *ast.CallExpr, obj types.Object, v tsVal, callee *types.Func, argIdx int, env tsEnv) {
+	if callee == nil {
+		delete(env, obj)
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || (sig.Variadic() && argIdx >= sig.Params().Len()-1) {
+		delete(env, obj)
+		return
+	}
+	if argIdx >= sig.Params().Len() {
+		delete(env, obj)
+		return
+	}
+	tc.applySummary(call, obj, v, callee, argIdx, env)
+}
+
+// applySummary runs one callee summary over a tracked value's state.
+func (tc *tsChecker) applySummary(call *ast.CallExpr, obj types.Object, v tsVal, callee *types.Func, param int, env tsEnv) {
+	sum := tc.summary(callee, param)
+	if sum == nil || !sum.ok || sum.dfa != v.dfa {
+		delete(env, obj)
+		return
+	}
+	state := v.state
+	for _, method := range sum.seq {
+		next, ok := v.dfa.spec.step(state, method)
+		if !ok {
+			tc.report(call.Pos(), "call to %s drives %s (state %q) through %s.%s, which state %q does not allow; legal here: %s",
+				callee.Name(), obj.Name(), v.state, v.dfa.tn.Name(), method, state, v.dfa.spec.legalFrom(state))
+			delete(env, obj)
+			return
+		}
+		state = next
+	}
+	env[obj] = tsVal{dfa: v.dfa, state: state}
+}
+
+// dropIdents clears tracking for every local referenced under n.
+func (tc *tsChecker) dropIdents(n ast.Node, env tsEnv) {
+	info := tc.node.Pkg.Info
+	ast.Inspect(n, func(x ast.Node) bool {
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := info.Uses[id]; obj != nil {
+			delete(env, obj)
+		}
+		return true
+	})
+}
+
+// summaryKey identifies one (callee, parameter) summary; param -1 is the
+// receiver.
+type summaryKey struct {
+	fn    *types.Func
+	param int
+}
+
+// tsSummary is the net DFA effect a callee applies to one parameter: a
+// straight-line sequence of tracked methods (ok), or no usable summary.
+type tsSummary struct {
+	dfa *stateDFA
+	seq []string
+	ok  bool
+}
+
+var summaryTop = &tsSummary{}
+
+// summary computes (memoized) the DFA effect of fn on its param-th
+// parameter. The effect is usable only when every use of the parameter in
+// the body is a field read or an unconditional top-level method call —
+// branches, loops, escapes and recursion all collapse to "unknown".
+func (tc *tsChecker) summary(fn *types.Func, param int) *tsSummary {
+	key := summaryKey{fn: fn, param: param}
+	if s, ok := tc.summaries[key]; ok {
+		if s == nil { // recursion in progress
+			return summaryTop
+		}
+		return s
+	}
+	tc.summaries[key] = nil
+	s := tc.computeSummary(fn, param)
+	tc.summaries[key] = s
+	return s
+}
+
+func (tc *tsChecker) computeSummary(fn *types.Func, param int) *tsSummary {
+	node := tc.cg.Nodes[fn]
+	if node == nil || node.Decl.Body == nil {
+		return summaryTop
+	}
+	var obj types.Object
+	if param == -1 {
+		if node.Decl.Recv == nil || len(node.Decl.Recv.List) == 0 || len(node.Decl.Recv.List[0].Names) == 0 {
+			// Unnamed receiver: the body cannot touch it.
+			sig := fn.Type().(*types.Signature)
+			if sig.Recv() == nil {
+				return summaryTop
+			}
+			return &tsSummary{dfa: tc.info.dfaFor(sig.Recv().Type()), ok: true}
+		}
+		obj = node.Pkg.Info.Defs[node.Decl.Recv.List[0].Names[0]]
+	} else {
+		idx := 0
+		for _, field := range node.Decl.Type.Params.List {
+			if len(field.Names) == 0 {
+				idx++
+				continue
+			}
+			for _, name := range field.Names {
+				if idx == param {
+					obj = node.Pkg.Info.Defs[name]
+				}
+				idx++
+			}
+		}
+	}
+	if obj == nil {
+		return summaryTop
+	}
+	dfa := tc.info.dfaFor(obj.Type())
+	if dfa == nil {
+		return summaryTop
+	}
+	sum := &tsSummary{dfa: dfa, ok: true}
+	// Pass 1: every use of obj must be a field read or the receiver of a
+	// top-level method call; anything else voids the summary.
+	info := node.Pkg.Info
+	topCalls := map[*ast.CallExpr]bool{}
+	for _, stmt := range node.Decl.Body.List {
+		var call *ast.CallExpr
+		switch st := stmt.(type) {
+		case *ast.ExprStmt:
+			call, _ = ast.Unparen(st.X).(*ast.CallExpr)
+		case *ast.AssignStmt:
+			if len(st.Rhs) == 1 {
+				call, _ = ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+			}
+		case *ast.ReturnStmt:
+			if len(st.Results) == 1 {
+				call, _ = ast.Unparen(st.Results[0]).(*ast.CallExpr)
+			}
+		}
+		if call != nil {
+			topCalls[call] = true
+		}
+	}
+	type recvCall struct {
+		call   *ast.CallExpr
+		callee *types.Func
+	}
+	var calls []recvCall
+	valid := true
+	var stack []ast.Node
+	ast.Inspect(node.Decl.Body, func(x ast.Node) bool {
+		if x == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, x)
+		id, ok := x.(*ast.Ident)
+		if !ok || info.Uses[id] != obj {
+			return true
+		}
+		// Climb: ident (possibly under & or parens) must sit as sel.X of a
+		// selector.
+		pi := len(stack) - 2
+		n := ast.Node(id)
+		if pi >= 0 {
+			if ue, ok := stack[pi].(*ast.UnaryExpr); ok && ue.Op == token.AND {
+				n, pi = ue, pi-1
+			}
+		}
+		if pi >= 0 {
+			if pe, ok := stack[pi].(*ast.ParenExpr); ok {
+				n, pi = pe, pi-1
+			}
+		}
+		if pi < 0 {
+			valid = false
+			return true
+		}
+		sel, ok := stack[pi].(*ast.SelectorExpr)
+		if !ok || (sel.X != n && ast.Unparen(sel.X) != n) {
+			valid = false
+			return true
+		}
+		s := info.Selections[sel]
+		if s == nil {
+			valid = false
+			return true
+		}
+		if s.Kind() == types.FieldVal {
+			return true // field reads are state-neutral anywhere
+		}
+		var call *ast.CallExpr
+		if pi-1 >= 0 {
+			if c, ok := stack[pi-1].(*ast.CallExpr); ok && c.Fun == sel {
+				call = c
+			}
+		}
+		if call == nil || !topCalls[call] {
+			valid = false
+			return true
+		}
+		callee, _ := s.Obj().(*types.Func)
+		if callee == nil {
+			valid = false
+			return true
+		}
+		calls = append(calls, recvCall{call: call, callee: callee})
+		return true
+	})
+	if !valid {
+		return summaryTop
+	}
+	// Pass 2: splice the sequence in source order, recursing through
+	// untracked helper methods.
+	for _, rc := range calls {
+		name := rc.callee.Name()
+		if dfa.spec.tracked[name] {
+			sum.seq = append(sum.seq, name)
+			continue
+		}
+		inner := tc.summary(rc.callee, -1)
+		if inner == nil || !inner.ok || (inner.dfa != nil && inner.dfa != dfa) {
+			return summaryTop
+		}
+		sum.seq = append(sum.seq, inner.seq...)
+	}
+	return sum
+}
+
+// ---------------------------------------------------------------------------
+// Rule lifecycle: method-call orders declared by //dophy:states hold.
+//
+// A type's DFA is its reuse contract — Solve before SolveWarm, Reset before
+// At, subscriptions before the first RunEpoch. The checker proves every
+// visibly constructed local obeys it, using callee summaries where a value
+// escapes into another module function.
+// ---------------------------------------------------------------------------
+
+type ruleLifecycle struct{}
+
+func (ruleLifecycle) Name() string { return "lifecycle" }
+
+func (ruleLifecycle) Check(m *Module, pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	for _, d := range m.typestateDiags() {
+		if d.pkg == pkg && d.rule == "lifecycle" {
+			report(d.pos, "%s", d.msg)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseStateDFAValid checks the happy path: clauses parse into the
+// expected transition table and the printer emits the canonical form.
+func TestParseStateDFAValid(t *testing.T) {
+	spec := "new: Solve -> solved; solved: Solve|SolveWarm -> solved"
+	d, err := parseStateDFA(spec)
+	if err != nil {
+		t.Fatalf("parseStateDFA(%q): %v", spec, err)
+	}
+	if got := d.initial(); got != "new" {
+		t.Errorf("initial() = %q, want new", got)
+	}
+	steps := []struct {
+		from, method, to string
+		ok               bool
+	}{
+		{"new", "Solve", "solved", true},
+		{"new", "SolveWarm", "", false},
+		{"solved", "Solve", "solved", true},
+		{"solved", "SolveWarm", "solved", true},
+		{"solved", "Reset", "", false},
+	}
+	for _, s := range steps {
+		to, ok := d.step(s.from, s.method)
+		if ok != s.ok || (ok && to != s.to) {
+			t.Errorf("step(%q, %q) = %q, %v; want %q, %v", s.from, s.method, to, ok, s.to, s.ok)
+		}
+	}
+	if !d.tracked["Solve"] || !d.tracked["SolveWarm"] {
+		t.Errorf("tracked = %v, want Solve and SolveWarm", d.tracked)
+	}
+	if got := d.String(); got != spec {
+		t.Errorf("String() = %q, want %q", got, spec)
+	}
+}
+
+// TestParseStateDFAErrors checks that malformed specs are rejected with a
+// message naming the problem and a byte offset inside the offending part,
+// so addSpec can point the diagnostic at the exact column of the pragma.
+func TestParseStateDFAErrors(t *testing.T) {
+	cases := []struct {
+		name, spec, wantMsg string
+		wantOff             int
+	}{
+		{"empty", "   ", "empty spec", 0},
+		{"empty clause", "a: X -> b;; b: X -> b", "empty clause", 10},
+		{"no colon", "new Solve -> solved", "has no ':'", 0},
+		{"no arrow", "idle: Run done", "has no '->'", 5},
+		{"duplicate clause", "a: X -> b; a: Y -> b", "duplicate clause for state \"a\"", 10},
+		{"duplicate method", "a: X -> b, X -> a", "two transitions for method X", 10},
+		{"bad state name", "9a: X -> b", "not a valid state or method name", 0},
+		{"bad method name", "a: 9x -> b", "not a valid state or method name", 3},
+		{"bad target name", "a: X -> 9b", "not a valid state or method name", 8},
+		{"unreachable", "a: X -> b; c: X -> a", "state \"c\" is unreachable from the initial state \"a\"", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := parseStateDFA(tc.spec)
+			if err == nil {
+				t.Fatalf("parseStateDFA(%q) = %s, want error containing %q", tc.spec, d.String(), tc.wantMsg)
+			}
+			se, ok := err.(*specError)
+			if !ok {
+				t.Fatalf("parseStateDFA(%q) error type %T, want *specError", tc.spec, err)
+			}
+			if !strings.Contains(se.msg, tc.wantMsg) {
+				t.Errorf("parseStateDFA(%q) error %q, want substring %q", tc.spec, se.msg, tc.wantMsg)
+			}
+			if se.off != tc.wantOff {
+				t.Errorf("parseStateDFA(%q) offset %d, want %d", tc.spec, se.off, tc.wantOff)
+			}
+		})
+	}
+}
+
+// FuzzStateDFA checks that the printer and parser are inverse on every
+// accepted spec: parse -> String -> parse must succeed and be a fixpoint.
+func FuzzStateDFA(f *testing.F) {
+	f.Add("new: Solve -> solved; solved: Solve|SolveWarm -> solved")
+	f.Add("fresh: Subscribe -> fresh, RunEpoch -> running; running: RunEpoch -> running")
+	f.Add("raw: DiffFrom -> diffed; diffed: DiffFrom|PathDirty -> diffed")
+	f.Add("live: At|Cancelled -> live")
+	f.Add("a: X -> b")
+	f.Add("a:X->a;;")
+	f.Add("a: X -> b; b: -> a")
+	f.Fuzz(func(t *testing.T, spec string) {
+		d, err := parseStateDFA(spec)
+		if err != nil {
+			return
+		}
+		printed := d.String()
+		d2, err := parseStateDFA(printed)
+		if err != nil {
+			t.Fatalf("round-trip parse of %q (from %q) failed: %v", printed, spec, err)
+		}
+		if again := d2.String(); again != printed {
+			t.Fatalf("String not a fixpoint: %q -> %q (from %q)", printed, again, spec)
+		}
+	})
+}

@@ -19,6 +19,12 @@ import (
 )
 
 // Epoch is one epoch's worth of baseline-visible observations.
+//
+// The dirty masks are meaningful only once DiffFrom has compared the epoch
+// against its predecessor; incremental consumers consult PathDirty only
+// after that hand-off.
+//
+//dophy:states raw: DiffFrom -> diffed; diffed: DiffFrom|PathDirty -> diffed
 type Epoch struct {
 	// Delivered[i] and Expected[i] are per-origin packet counts.
 	Delivered []int64

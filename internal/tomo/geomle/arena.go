@@ -8,6 +8,11 @@ import "dophy/internal/topo"
 // lifetime of an estimator instead of one map entry plus one slice per
 // touched link per epoch. An Obs with Total() == 0 means "no observations
 // on that link" — the dense replacement for a missing map key.
+//
+// A reused arena starts each epoch with Reset; accumulators are handed out
+// only after that first wipe.
+//
+//dophy:states new: Reset -> ready; ready: At|Reset -> ready
 type Arena struct {
 	obs     []Obs
 	backing []float64
@@ -29,8 +34,11 @@ func NewArena(n, bins int) *Arena {
 // Len returns the number of accumulators.
 func (a *Arena) Len() int { return len(a.obs) }
 
-// At returns the accumulator at link-table index i. The pointer stays valid
-// across Reset.
+// At returns the accumulator at link-table index i. The pointer aliases the
+// arena's backing storage, but deliberately with no invalidation: the
+// pointer stays valid across Reset (only the counts it sees are wiped).
+//
+//dophy:returns borrowed(recv) -- the accumulator lives in the arena's backing array
 func (a *Arena) At(i topo.LinkIdx) *Obs { return &a.obs[i] }
 
 // Reset zeroes every accumulator in place, keeping the backing storage.

@@ -52,8 +52,11 @@ func DefaultConfig() Config {
 }
 
 // Estimator solves the baseline for successive epochs of one topology,
-// reusing its row/column scratch, system matrix, and NNLS workspace across
-// calls. Only the returned estimate vector is allocated per epoch.
+// reusing its row/column scratch, system matrix, NNLS workspace and the
+// estimate vector itself across calls: Estimate returns a borrowed view of
+// estimator-owned scratch, rewritten by the next call.
+//
+//dophy:states new: Estimate -> estimated; estimated: Estimate|LastStats -> estimated
 type Estimator struct {
 	cfg Config
 	lt  *topo.LinkTable
@@ -69,7 +72,8 @@ type Estimator struct {
 	pathBuf   []topo.LinkIdx // all rows' link indices, flattened
 	rowStart  []int32        // pathBuf offset per row, plus a final sentinel
 	b         []float64
-	rowOrigin []int32 // origin node per row, for matching rows across epochs
+	rowOrigin []int32   // origin node per row, for matching rows across epochs
+	out       []float64 // the returned estimate: borrowed scratch, rewritten per call
 
 	// Incremental state (maintained only when cfg.DirtyThreshold > 0): the
 	// previous epoch's rows, assembled system and solution, so a
@@ -119,8 +123,12 @@ func NewEstimator(lt *topo.LinkTable, cfg Config) *Estimator {
 
 // Estimate runs the baseline over one epoch of sink observations. The
 // result is dense, indexed by the link table; NaN marks links not on any
-// usable path. The caller owns the returned slice.
+// usable path. The returned slice aliases the estimator's scratch and is
+// valid until the next Estimate call; retaining it across epochs requires
+// copying it out.
 //
+//dophy:returns borrowed(recv) -- the result aliases est.out until the next Estimate
+//dophy:invalidates
 //dophy:hotpath
 func (est *Estimator) Estimate(e *epochobs.Epoch) []float64 {
 	cfg := est.cfg
@@ -170,8 +178,8 @@ func (est *Estimator) Estimate(e *epochobs.Epoch) []float64 {
 	}
 	est.rowStart = append(est.rowStart, int32(len(est.pathBuf)))
 
-	//dophy:allow hotpathalloc -- the dense estimate vector is the epoch's product; the caller owns it
-	out := make([]float64, est.lt.Len())
+	est.out = resizeFloats(est.out, est.lt.Len())
+	out := est.out
 	for i := range out {
 		out[i] = math.NaN()
 	}

@@ -138,7 +138,8 @@ func TestEstimatorReuseAcrossEpochs(t *testing.T) {
 	// scratch reuse must not leak state across calls.
 	lt := chainTable(4)
 	est := NewEstimator(lt, DefaultConfig())
-	first := est.Estimate(chainEpoch(100000, []float64{0.02, 0.05, 0.1}))
+	// Estimate returns borrowed scratch: copy out before the next call.
+	first := append([]float64(nil), est.Estimate(chainEpoch(100000, []float64{0.02, 0.05, 0.1}))...)
 	est.Estimate(chainEpoch(1000, []float64{0, 0, 0})) // interleaved epoch
 	again := est.Estimate(chainEpoch(100000, []float64{0.02, 0.05, 0.1}))
 	for i := range first {

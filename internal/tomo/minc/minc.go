@@ -50,8 +50,11 @@ func DefaultConfig() Config {
 }
 
 // Estimator runs tree EM for successive epochs of one topology, reusing
-// its path and EM scratch across calls; only the returned estimate vector
-// is allocated per epoch.
+// its path and EM scratch — and the estimate vector itself — across calls:
+// Estimate returns a borrowed view of estimator-owned scratch, rewritten by
+// the next call.
+//
+//dophy:states new: Estimate -> estimated; estimated: Estimate|LastStats -> estimated
 type Estimator struct {
 	cfg Config
 	lt  *topo.LinkTable
@@ -73,7 +76,8 @@ type Estimator struct {
 	accel1     []float64 // previous EM iterate, for Aitken extrapolation
 	accel2     []float64 // iterate before that
 
-	rowOrigin []int32 // origin node per source row, for cross-epoch matching
+	rowOrigin []int32   // origin node per source row, for cross-epoch matching
+	out       []float64 // the returned estimate: borrowed scratch, rewritten per call
 
 	// Incremental state (maintained only when cfg.DirtyThreshold > 0):
 	// the previous epoch's rows, converged drops and output, so a
@@ -125,9 +129,12 @@ func resize(s []float64, n int) []float64 {
 }
 
 // Estimate runs tree EM over one epoch. The result is dense, indexed by
-// the link table; NaN marks links not on any usable path. The caller owns
-// the returned slice.
+// the link table; NaN marks links not on any usable path. The returned
+// slice aliases the estimator's scratch and is valid until the next
+// Estimate call; retaining it across epochs requires copying it out.
 //
+//dophy:returns borrowed(recv) -- the result aliases est.out until the next Estimate
+//dophy:invalidates
 //dophy:hotpath
 func (est *Estimator) Estimate(e *epochobs.Epoch) []float64 {
 	cfg := est.cfg
@@ -177,8 +184,8 @@ func (est *Estimator) Estimate(e *epochobs.Epoch) []float64 {
 	}
 	est.srcStart = append(est.srcStart, int32(len(est.pathBuf)))
 
-	//dophy:allow hotpathalloc -- the dense estimate vector is the epoch's product; the caller owns it
-	out := make([]float64, est.lt.Len())
+	est.out = resize(est.out, est.lt.Len())
+	out := est.out
 	for i := range out {
 		out[i] = math.NaN()
 	}

@@ -148,7 +148,8 @@ func TestEstimatorReuseAcrossEpochs(t *testing.T) {
 	// scratch reuse must not leak state across calls.
 	lt := chainTable(3)
 	est := NewEstimator(lt, DefaultConfig())
-	first := est.Estimate(chainEpoch(100000, []float64{0.0, 0.3}))
+	// Estimate returns borrowed scratch: copy out before the next call.
+	first := append([]float64(nil), est.Estimate(chainEpoch(100000, []float64{0.0, 0.3}))...)
 	est.Estimate(chainEpoch(1000, []float64{0.2, 0.2})) // interleaved epoch
 	again := est.Estimate(chainEpoch(100000, []float64{0.0, 0.3}))
 	for i := range first {

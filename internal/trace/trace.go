@@ -84,6 +84,10 @@ func (r *Recorder) Beacon(l topo.Link, received bool) {
 	}
 }
 
+// at returns the live accumulator for l. The pointer aliases r.counts and
+// only counts recorded before the next Cut are visible through it.
+//
+//dophy:returns borrowed(recv) -- the pointer aliases r.counts, which the next Cut zeroes
 func (r *Recorder) at(l topo.Link) *LinkCounts {
 	i := r.lt.Index(l)
 	if i < 0 {
@@ -242,6 +246,8 @@ func CutMerged(recs []*Recorder) *Epoch {
 // in place for the next one. The dirty bitmap is diffed against the
 // previous cut's counts here, while both windows are still at hand — the
 // snapshot and the bitmap are the only per-epoch allocations.
+//
+//dophy:invalidates
 func (r *Recorder) Cut() *Epoch {
 	e := &Epoch{
 		Table:         r.lt,
