@@ -22,9 +22,14 @@
 // -hotpaths prints the //dophy:hotpath inventory instead of linting;
 // -write-inventory regenerates the committed hotpath-inventory.txt from the
 // same data, so CI can fail when the golden drifts from the annotations.
+// -effects prints the write-effect contract inventory (//dophy:readonly,
+// //dophy:effects, field-level //dophy:transfers) the same way.
 // -rule <name,...> restricts reporting to the named rules (the full
 // catalogue still runs, so waiver bookkeeping is unchanged; pragma-hygiene
 // diagnostics appear only on unfiltered runs). Unknown names exit 2.
+// -diff <git-ref> keeps the whole-module analysis (cross-package rules need
+// it) but reports only diagnostics in files changed relative to the ref,
+// plus untracked files — the pre-push subset of a full run.
 package main
 
 import (
@@ -44,19 +49,35 @@ import (
 var tagSets = [][]string{nil, {"dophy_invariants"}}
 
 func main() {
-	verbose := flag.Bool("v", false, "also print type-checker errors (analysis is best-effort despite them)")
-	root := flag.String("root", "", "module root to lint (default: walk up from cwd to go.mod)")
-	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
-	github := flag.Bool("github", false, "emit GitHub Actions ::error annotations alongside the text output")
-	hotpaths := flag.Bool("hotpaths", false, "print the //dophy:hotpath function inventory and exit")
-	writeInventory := flag.Bool("write-inventory", false, "rewrite hotpath-inventory.txt at the module root and exit")
-	ruleSpec := flag.String("rule", "", "comma-separated rule names to run (default: all rules)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole command behind a testable seam: flags in, exit code
+// out, all output on the two writers. Exit codes: 0 clean, 1 violations,
+// 2 usage or load errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dophy-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	verbose := fs.Bool("v", false, "also print type-checker errors (analysis is best-effort despite them)")
+	root := fs.String("root", "", "module root to lint (default: walk up from cwd to go.mod)")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	github := fs.Bool("github", false, "emit GitHub Actions ::error annotations alongside the text output")
+	hotpaths := fs.Bool("hotpaths", false, "print the //dophy:hotpath function inventory and exit")
+	effects := fs.Bool("effects", false, "print the //dophy:readonly///dophy:effects contract inventory and exit")
+	writeInventory := fs.Bool("write-inventory", false, "rewrite hotpath-inventory.txt at the module root and exit")
+	ruleSpec := fs.String("rule", "", "comma-separated rule names to run (default: all rules)")
+	diffRef := fs.String("diff", "", "report only diagnostics in files changed relative to this git ref (plus untracked files)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
 
 	ruleFilter, err := selectRules(*ruleSpec)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dophy-lint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "dophy-lint:", err)
+		return 2
 	}
 
 	dir := *root
@@ -64,37 +85,60 @@ func main() {
 		var err error
 		dir, err = findModuleRoot()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dophy-lint:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "dophy-lint:", err)
+			return 2
 		}
 	}
 	// Non-flag args are accepted for familiarity (./...) but the engine
 	// always lints the whole module; anything narrower would miss
 	// cross-package rules like poolescape.
-	for _, arg := range flag.Args() {
+	for _, arg := range fs.Args() {
 		if arg != "./..." && arg != "." {
-			fmt.Fprintf(os.Stderr, "dophy-lint: ignoring %q (whole-module analysis only)\n", arg)
+			fmt.Fprintf(stderr, "dophy-lint: ignoring %q (whole-module analysis only)\n", arg)
 		}
 	}
 
-	if *hotpaths {
-		for _, line := range hotPathLines(dir) {
-			fmt.Println(line)
+	var changed map[string]bool
+	if *diffRef != "" {
+		changed, err = changedFiles(dir, *diffRef)
+		if err != nil {
+			fmt.Fprintln(stderr, "dophy-lint:", err)
+			return 2
 		}
-		return
+	}
+
+	if *hotpaths || *effects {
+		inv := lint.Inventory
+		if *effects {
+			inv = lint.EffectsInventory
+		}
+		lines, err := inventoryLines(dir, inv)
+		if err != nil {
+			fmt.Fprintln(stderr, "dophy-lint:", err)
+			return 2
+		}
+		for _, line := range lines {
+			fmt.Fprintln(stdout, line)
+		}
+		return 0
 	}
 	if *writeInventory {
 		path := filepath.Join(dir, "hotpath-inventory.txt")
+		lines, err := inventoryLines(dir, lint.Inventory)
+		if err != nil {
+			fmt.Fprintln(stderr, "dophy-lint:", err)
+			return 2
+		}
 		var buf strings.Builder
-		for _, line := range hotPathLines(dir) {
+		for _, line := range lines {
 			buf.WriteString(line)
 			buf.WriteByte('\n')
 		}
 		if err := os.WriteFile(path, []byte(buf.String()), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "dophy-lint:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "dophy-lint:", err)
+			return 2
 		}
-		return
+		return 0
 	}
 
 	seen := map[string]bool{}
@@ -108,13 +152,13 @@ func main() {
 	for pass, tags := range tagSets {
 		mod, err := lint.Load(dir, lint.LoadConfig{Tags: tags})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dophy-lint:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "dophy-lint:", err)
+			return 2
 		}
 		if *verbose {
 			for _, pkg := range mod.Packages {
 				for _, terr := range pkg.TypeErrors {
-					fmt.Fprintf(os.Stderr, "dophy-lint: typecheck [%s]: %v\n", strings.Join(tags, ","), terr)
+					fmt.Fprintf(stderr, "dophy-lint: typecheck [%s]: %v\n", strings.Join(tags, ","), terr)
 				}
 			}
 		}
@@ -156,28 +200,32 @@ func main() {
 		}
 		diags = kept
 	}
+	if changed != nil {
+		diags = filterToFiles(diags, dir, changed)
+	}
 	lint.SortDiagnostics(diags)
 
 	switch {
 	case *jsonOut:
-		if err := emitJSON(os.Stdout, diags); err != nil {
-			fmt.Fprintln(os.Stderr, "dophy-lint:", err)
-			os.Exit(2)
+		if err := emitJSON(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, "dophy-lint:", err)
+			return 2
 		}
 	default:
 		for _, d := range diags {
-			fmt.Println(d.String())
+			fmt.Fprintln(stdout, d.String())
 		}
 	}
 	if *github {
 		for _, d := range diags {
-			emitGitHub(dir, d)
+			emitGitHub(stdout, dir, d)
 		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "dophy-lint: %d violation(s)\n", len(diags))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "dophy-lint: %d violation(s)\n", len(diags))
+		return 1
 	}
+	return 0
 }
 
 // selectRules parses the -rule flag: a comma-separated list of rule names
@@ -245,7 +293,7 @@ func emitJSON(w io.Writer, diags []lint.Diagnostic) error {
 
 // emitGitHub prints one GitHub Actions workflow annotation. File paths are
 // made repo-relative so the annotation attaches to the diff view.
-func emitGitHub(root string, d lint.Diagnostic) {
+func emitGitHub(w io.Writer, root string, d lint.Diagnostic) {
 	file := d.Pos.Filename
 	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
 		file = filepath.ToSlash(rel)
@@ -253,33 +301,33 @@ func emitGitHub(root string, d lint.Diagnostic) {
 	// Messages must have %, CR and LF escaped per the workflow-command spec.
 	msg := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A").Replace(
 		fmt.Sprintf("%s: %s", d.Rule, d.Msg))
-	fmt.Printf("::error file=%s,line=%d,col=%d::%s\n", file, d.Pos.Line, d.Pos.Column, msg)
+	fmt.Fprintf(w, "::error file=%s,line=%d,col=%d::%s\n", file, d.Pos.Line, d.Pos.Column, msg)
 }
 
-// hotPathLines returns the union of //dophy:hotpath functions over every
-// tag set, one per line, sorted — the source of the committed
-// hotpath-inventory.txt golden (-hotpaths prints it, -write-inventory
-// rewrites the file).
-func hotPathLines(dir string) []string {
+// inventoryLines returns the union of an annotation inventory over every
+// tag set, one entry per line, sorted. With lint.Inventory it is the source
+// of the committed hotpath-inventory.txt golden (-hotpaths prints it,
+// -write-inventory rewrites the file); with lint.EffectsInventory it backs
+// -effects.
+func inventoryLines(dir string, inv func(*lint.Module) []string) ([]string, error) {
 	seen := map[string]bool{}
 	var all []string
 	for _, tags := range tagSets {
 		mod, err := lint.Load(dir, lint.LoadConfig{Tags: tags})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dophy-lint:", err)
-			os.Exit(2)
+			return nil, err
 		}
-		for _, line := range lint.Inventory(mod) {
+		for _, line := range inv(mod) {
 			if !seen[line] {
 				seen[line] = true
 				all = append(all, line)
 			}
 		}
 	}
-	// Inventory is sorted per pass; the union of two sorted lists needs one
-	// more sort to interleave tag-gated entries correctly.
+	// Each inventory is sorted per pass; the union of two sorted lists needs
+	// one more sort to interleave tag-gated entries correctly.
 	sort.Strings(all)
-	return all
+	return all, nil
 }
 
 // findModuleRoot walks up from the working directory to the enclosing go.mod.

@@ -57,6 +57,16 @@ func goldenDiags() []lint.Diagnostic {
 			Rule: "borrowspan",
 			Msg:  "loss was borrowed from b.lsqEst's scratch (line 96) but Estimate was called on line 99, invalidating it; read it before the next Estimate or copy it out",
 		},
+		{
+			Pos:  token.Position{Filename: "internal/tomo/lsq/lsq.go", Line: 122, Column: 3},
+			Rule: "readonly",
+			Msg:  `write to est.colOf[...] mutates parameter "lt" of internal/tomo/lsq.NewEstimator, annotated //dophy:readonly (write chain: internal/tomo/lsq.NewEstimator)`,
+		},
+		{
+			Pos:  token.Position{Filename: "internal/experiment/pipeline.go", Line: 107, Column: 2},
+			Rule: "effects",
+			Msg:  "write to eo.Schemes[...] mutates c, received from a channel whose element carries //dophy:owner immutable fields; received values are frozen (write chain: internal/experiment.estLoop -> internal/experiment.(*estBank).estimate)",
+		},
 	}
 }
 
@@ -110,6 +120,76 @@ func TestSelectRules(t *testing.T) {
 	}
 	if _, err := selectRules(" , ,"); err == nil {
 		t.Fatal("selectRules accepted a spec naming no rules")
+	}
+}
+
+// TestRunExitCodes pins the run() seam's exit contract: 2 for usage and
+// load errors (the paths main used to os.Exit from), 1 for violations,
+// 0 for inventory modes, which return before linting.
+func TestRunExitCodes(t *testing.T) {
+	fixture := filepath.Join("..", "..", "internal", "lint", "testdata", "src")
+	cases := []struct {
+		name      string
+		args      []string
+		want      int
+		errSubstr string
+	}{
+		{
+			name:      "root without go.mod",
+			args:      []string{"-root", t.TempDir()},
+			want:      2,
+			errSubstr: "dophy-lint:",
+		},
+		{
+			name:      "unknown rule",
+			args:      []string{"-root", fixture, "-rule", "nosuchrule"},
+			want:      2,
+			errSubstr: `unknown rule "nosuchrule"`,
+		},
+		{
+			name: "unknown flag",
+			args: []string{"-nosuchflag"},
+			want: 2,
+		},
+		{
+			name:      "bogus diff ref",
+			args:      []string{"-root", t.TempDir(), "-diff", "no-such-ref"},
+			want:      2,
+			errSubstr: "dophy-lint:",
+		},
+		{
+			name:      "violations in the fixture module",
+			args:      []string{"-root", fixture},
+			want:      1,
+			errSubstr: "violation(s)",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(tc.args, &stdout, &stderr); got != tc.want {
+				t.Fatalf("run(%v) = %d, want %d\nstderr: %s", tc.args, got, tc.want, stderr.String())
+			}
+			if tc.errSubstr != "" && !bytes.Contains(stderr.Bytes(), []byte(tc.errSubstr)) {
+				t.Errorf("stderr %q missing %q", stderr.String(), tc.errSubstr)
+			}
+		})
+	}
+}
+
+// TestRunEffectsInventory smoke-tests the -effects mode against the
+// fixture module: exit 0 (inventory modes do not lint) and one line per
+// contract annotation, including the field-level transfers entries.
+func TestRunEffectsInventory(t *testing.T) {
+	fixture := filepath.Join("..", "..", "internal", "lint", "testdata", "src")
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-root", fixture, "-effects"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("run -effects = %d, want 0\nstderr: %s", got, stderr.String())
+	}
+	for _, want := range []string{"readonly(vals)", "effects(noglobals)", "transfers(field)"} {
+		if !bytes.Contains(stdout.Bytes(), []byte(want)) {
+			t.Errorf("-effects inventory missing %q:\n%s", want, stdout.String())
+		}
 	}
 }
 

@@ -54,6 +54,10 @@ func Incremental() bool { return incremental.Load() }
 // a cut transfers ownership: the simulation side never touches one again,
 // which is what makes the estimate stage's writes to out race-free.
 type epochCut struct {
+	// The outcome travels with the cut: once the cut is sent, the estimation
+	// stage owns it and finishes it (the one sanctioned write through a cut).
+	//
+	//dophy:transfers -- ownership of the outcome moves with the cut to the estimation stage
 	out *EpochOutcome   //dophy:owner immutable -- built by cutEpoch; the estimation stage finishes and returns it
 	obs *epochobs.Epoch //dophy:owner immutable -- the estimators' input; next epoch's DiffFrom only reads it
 }
@@ -87,6 +91,8 @@ func newEstBank(lt *topo.LinkTable, maxAttempts int) estBank {
 // EpochOutcome. Called once per cut, in epoch order.
 //
 //dophy:window
+//dophy:readonly c -- the cut is shared with the simulation side's run totals; only the transferred outcome may be written
+//dophy:effects noglobals -- estimation must not touch package state: the pipeline runs it concurrently with the simulator
 func (b *estBank) estimate(c *epochCut) *EpochOutcome {
 	eo := c.out
 	start := nowNanos()

@@ -199,9 +199,15 @@ func (m *Module) contractInfo() *contractInfo {
 // transfer pragmas.
 func (c *contractInfo) collectFile(m *Module, pkg *Package, file *File) {
 	f := file.AST
-	// Boundary and transfer pragmas can sit in any comment group.
+	// Boundary and transfer pragmas can sit in any comment group — except
+	// that a //dophy:transfers attached to a struct field is the effect
+	// layer's field-level form (effects.go), not a statement annotation.
+	fieldComments := structFieldTransferComments(f)
 	for _, cg := range f.Comments {
 		for _, cm := range cg.List {
+			if fieldComments[cm] {
+				continue
+			}
 			if arg, ok := directiveArg(cm.Text, BoundaryPragma); ok {
 				if c.boundary[file] == nil {
 					_, reason, _ := strings.Cut(arg, "--")

@@ -1,0 +1,1733 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the write-effect layer: a whole-module, inter-procedural
+// inference of what every function writes through pointers, slices, maps and
+// fields, plus the two rules that consume the summaries.
+//
+// Every write is attributed to a *root*: the receiver, a parameter, a
+// package-level variable, or fresh function-local storage. Roots flow
+// through a flow-insensitive alias environment (x := e.Counts makes x an
+// alias of the receiver's storage), and summaries propagate bottom-up
+// through call-graph SCCs, so a helper three calls deep that scribbles on a
+// shared []float64 is charged to the parameter it arrived through.
+//
+// Annotation grammar:
+//
+//	//dophy:readonly <name>... [-- <reason>]   in a func doc comment: the
+//	    named receiver ("recv") and/or parameters must be transitively
+//	    un-written — by this function and everything it calls.
+//	//dophy:effects noglobals [-- <reason>]    in a func doc comment: no
+//	    function reachable from here may write package-level state.
+//	//dophy:transfers   on a struct field of a top-level named struct type:
+//	    ownership of the pointee moves with the struct (the pipeline's
+//	    epochCut hands its scratch observation to the estimator goroutine),
+//	    so reads through the field yield fresh storage, not the base's.
+//
+// The rules:
+//
+//   - readonly: a //dophy:readonly root whose summary bit is set is a
+//     violation, reported at the deep write with the full call chain (the
+//     same shape as hotpathalloc's chains).
+//   - effects: //dophy:effects noglobals reachability (global writes and
+//     unprovable indirect calls on the path are both violations), plus two
+//     channel-boundary checks that close the alias gap sendown leaves:
+//     values received from a channel whose element carries //dophy:owner
+//     immutable fields are frozen (no writes through any alias), and values
+//     published with //dophy:transfers must not be written after the send —
+//     inter-procedurally, through any alias.
+//
+// Honest limits (see DESIGN.md): aliasing is flow-insensitive (one alias
+// set per binding for the whole body), unresolved call edges degrade to
+// "writes every reference-typed argument" (⊤), method-value receivers are
+// untracked, append never counts as writing its first argument (the result
+// rebind is the idiom), and package-level variables of *imported* packages
+// (os.Stdout handed to an external call) count as global writes.
+const (
+	// ReadonlyPragma declares receiver/parameters that must stay un-written.
+	ReadonlyPragma = "//dophy:readonly"
+	// EffectsPragma declares an effect contract on everything reachable.
+	EffectsPragma = "//dophy:effects"
+)
+
+// roAnn is one parsed //dophy:readonly annotation.
+type roAnn struct {
+	pos      token.Pos
+	recv     bool
+	recvName string
+	params   []int          // annotated parameter indices, in annotation order
+	names    map[int]string // parameter index -> source name
+}
+
+// effectsInfo is the module's parsed write-effect annotation set.
+type effectsInfo struct {
+	readonly  map[*types.Func]*roAnn
+	noGlobals map[*types.Func]token.Pos
+	// transferFields are struct fields carrying //dophy:transfers: reading
+	// through them yields fresh storage (ownership travels with the struct).
+	transferFields map[*types.Var]token.Pos
+	// inventory lines ("rel (T).M readonly(e, lt)"), built during collection
+	// in deterministic file order; EffectsInventory sorts them.
+	inv []string
+	// annDiags are malformed-annotation hygiene diagnostics.
+	annDiags []contractDiag
+}
+
+// effectsInfoOf parses (once) every write-effect annotation in the module.
+func (m *Module) effectsInfoOf() *effectsInfo {
+	if m.effInfo != nil {
+		return m.effInfo
+	}
+	ei := &effectsInfo{
+		readonly:       map[*types.Func]*roAnn{},
+		noGlobals:      map[*types.Func]token.Pos{},
+		transferFields: map[*types.Var]token.Pos{},
+	}
+	m.effInfo = ei
+	for _, pkg := range m.Packages {
+		for _, file := range pkg.Files {
+			ei.collectFile(pkg, file)
+		}
+	}
+	return ei
+}
+
+func (ei *effectsInfo) collectFile(pkg *Package, file *File) {
+	rel := pkg.RelPath
+	if rel == "" {
+		rel = "."
+	}
+	bad := func(rule string, pos token.Pos, format string, args ...any) {
+		ei.annDiags = append(ei.annDiags, contractDiag{rule: rule, pkg: pkg, pos: pos,
+			msg: fmt.Sprintf(format, args...)})
+	}
+	for _, decl := range file.AST.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Doc != nil {
+				ei.collectFuncDoc(pkg, rel, d, bad)
+			}
+		case *ast.GenDecl:
+			if d.Tok == token.TYPE {
+				ei.collectTypeFields(pkg, rel, d, bad)
+			}
+		}
+	}
+}
+
+// collectFuncDoc parses //dophy:readonly and //dophy:effects from one
+// function's doc comment.
+func (ei *effectsInfo) collectFuncDoc(pkg *Package, rel string, fd *ast.FuncDecl, bad func(rule string, pos token.Pos, format string, args ...any)) {
+	fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	for _, cm := range fd.Doc.List {
+		if arg, ok := directiveArg(cm.Text, ReadonlyPragma); ok {
+			spec, _, _ := strings.Cut(arg, "--")
+			names := strings.Fields(spec)
+			if len(names) == 0 {
+				bad("readonly", cm.Pos(), "malformed //dophy:readonly: name the receiver (recv) or the parameters that must stay un-written")
+				continue
+			}
+			if fn == nil {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			ann := &roAnn{pos: cm.Pos(), names: map[int]string{}}
+			// Parameter name -> index, from the declaration (the type
+			// signature loses grouped-parameter names).
+			paramIdx := map[string]int{}
+			idx := 0
+			if fd.Type.Params != nil {
+				for _, f := range fd.Type.Params.List {
+					if len(f.Names) == 0 {
+						idx++
+						continue
+					}
+					for _, nm := range f.Names {
+						paramIdx[nm.Name] = idx
+						idx++
+					}
+				}
+			}
+			ok := true
+			seen := map[string]bool{}
+			for _, name := range names {
+				if seen[name] {
+					bad("readonly", cm.Pos(), "//dophy:readonly names %s twice", name)
+					ok = false
+					break
+				}
+				seen[name] = true
+				if name == "recv" {
+					if fd.Recv == nil {
+						bad("readonly", cm.Pos(), "//dophy:readonly recv on %s, which has no receiver", fd.Name.Name)
+						ok = false
+						break
+					}
+					if !hasRefType(sig.Recv().Type()) {
+						bad("readonly", cm.Pos(), "receiver of %s has no reference-typed storage; //dophy:readonly recv is vacuous", fd.Name.Name)
+						ok = false
+						break
+					}
+					ann.recv = true
+					if len(fd.Recv.List[0].Names) > 0 {
+						ann.recvName = fd.Recv.List[0].Names[0].Name
+					}
+					continue
+				}
+				i, known := paramIdx[name]
+				if !known {
+					bad("readonly", cm.Pos(), "//dophy:readonly names %q, which is not a parameter of %s (use recv for the receiver)", name, fd.Name.Name)
+					ok = false
+					break
+				}
+				if !hasRefType(sig.Params().At(i).Type()) {
+					bad("readonly", cm.Pos(), "parameter %q of %s has no reference-typed storage; //dophy:readonly is vacuous", name, fd.Name.Name)
+					ok = false
+					break
+				}
+				ann.params = append(ann.params, i)
+				ann.names[i] = name
+			}
+			if !ok {
+				continue
+			}
+			ei.readonly[fn] = ann
+			ei.inv = append(ei.inv, rel+" "+funcDisplay(fn)+" readonly("+strings.Join(names, ", ")+")")
+		}
+		if arg, ok := directiveArg(cm.Text, EffectsPragma); ok {
+			spec, _, _ := strings.Cut(arg, "--")
+			if strings.TrimSpace(spec) != "noglobals" {
+				bad("effects", cm.Pos(), "malformed //dophy:effects: want 'noglobals', got %q", strings.TrimSpace(spec))
+				continue
+			}
+			if fn == nil {
+				continue
+			}
+			ei.noGlobals[fn] = cm.Pos()
+			ei.inv = append(ei.inv, rel+" "+funcDisplay(fn)+" effects(noglobals)")
+		}
+	}
+}
+
+// collectTypeFields parses field-level //dophy:transfers on the fields of
+// top-level named struct types: ownership of the pointee travels with the
+// struct, so effect analysis treats reads through the field as fresh.
+func (ei *effectsInfo) collectTypeFields(pkg *Package, rel string, gd *ast.GenDecl, bad func(rule string, pos token.Pos, format string, args ...any)) {
+	for _, spec := range gd.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok || st.Fields == nil {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			for _, doc := range []*ast.CommentGroup{field.Doc, field.Comment} {
+				if doc == nil {
+					continue
+				}
+				for _, cm := range doc.List {
+					if _, ok := directiveArg(cm.Text, TransferPragma); !ok {
+						continue
+					}
+					if len(field.Names) == 0 {
+						bad("effects", cm.Pos(), "//dophy:transfers on embedded fields is not supported; name the field")
+						continue
+					}
+					for _, name := range field.Names {
+						v, ok := pkg.Info.Defs[name].(*types.Var)
+						if !ok {
+							continue
+						}
+						if !hasRefType(v.Type()) {
+							bad("effects", cm.Pos(), "field %s carries //dophy:transfers but has no reference-typed storage; nothing changes ownership", v.Name())
+							continue
+						}
+						ei.transferFields[v] = cm.Pos()
+						ei.inv = append(ei.inv, rel+" "+ts.Name.Name+"."+v.Name()+" transfers(field)")
+					}
+				}
+			}
+		}
+	}
+}
+
+// structFieldTransferComments returns the comments attached (as Doc or
+// trailing Comment) to struct fields of top-level named types in f. The
+// contract layer skips these when collecting statement-level
+// //dophy:transfers pragmas: a field-level transfer belongs to the effect
+// layer, not to a statement.
+func structFieldTransferComments(f *ast.File) map[*ast.Comment]bool {
+	skip := map[*ast.Comment]bool{}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				continue
+			}
+			for _, field := range st.Fields.List {
+				for _, doc := range []*ast.CommentGroup{field.Doc, field.Comment} {
+					if doc == nil {
+						continue
+					}
+					for _, cm := range doc.List {
+						skip[cm] = true
+					}
+				}
+			}
+		}
+	}
+	return skip
+}
+
+// funcDisplay renders a function the way Inventory does: the bare name, or
+// "(T).name" for methods.
+func funcDisplay(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		name = "(" + types.TypeString(sig.Recv().Type(), func(p *types.Package) string { return "" }) + ")." + name
+	}
+	return name
+}
+
+// EffectsInventory renders the module's write-effect annotation inventory,
+// one annotation per line, sorted — the -effects inspection output.
+func EffectsInventory(m *Module) []string {
+	ei := m.effectsInfoOf()
+	out := append([]string(nil), ei.inv...)
+	sort.Strings(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Roots, summaries and facts.
+// ---------------------------------------------------------------------------
+
+// effRootKind classifies a write-effect root.
+type effRootKind uint8
+
+const (
+	effRecv effRootKind = iota
+	effParam
+	effGlobal
+)
+
+// effRoot identifies one root a write was attributed to.
+type effRoot struct {
+	kind   effRootKind
+	param  int
+	global *types.Var
+}
+
+// effWitness records where (and through what) a root was first written, so
+// diagnostics can replay the full call chain to the deep write.
+type effWitness struct {
+	pos  token.Pos
+	desc string // rendered source text of the written lvalue or argument
+	pkg  *Package
+	// callee is non-nil when the write happens inside a callee: via names
+	// the callee root the caller's storage flowed into, and the chase
+	// continues from the callee's own witness for that root.
+	callee *FuncNode
+	via    effRoot
+	// ext, when non-empty, is the reason the write is assumed rather than
+	// seen: an external or unresolvable call the storage escaped into.
+	ext string
+}
+
+// rootSet is the alias lattice element: which roots an expression's storage
+// may belong to. locals track function-local roots (frozen and published
+// bindings) and never leave the function; summaries strip them.
+type rootSet struct {
+	recv    bool
+	params  uint64
+	globals map[*types.Var]bool
+	locals  map[types.Object]bool
+}
+
+func (rs *rootSet) isEmpty() bool {
+	return rs == nil || (!rs.recv && rs.params == 0 && len(rs.globals) == 0 && len(rs.locals) == 0)
+}
+
+func (rs *rootSet) addGlobal(v *types.Var) {
+	if rs.globals == nil {
+		rs.globals = map[*types.Var]bool{}
+	}
+	rs.globals[v] = true
+}
+
+func (rs *rootSet) addLocal(obj types.Object) {
+	if rs.locals == nil {
+		rs.locals = map[types.Object]bool{}
+	}
+	rs.locals[obj] = true
+}
+
+// union merges other into rs and reports whether rs grew.
+func (rs *rootSet) union(other *rootSet) bool {
+	if other == nil {
+		return false
+	}
+	changed := false
+	if other.recv && !rs.recv {
+		rs.recv, changed = true, true
+	}
+	if other.params&^rs.params != 0 {
+		rs.params |= other.params
+		changed = true
+	}
+	for g := range other.globals {
+		if !rs.globals[g] {
+			rs.addGlobal(g)
+			changed = true
+		}
+	}
+	for o := range other.locals {
+		if !rs.locals[o] {
+			rs.addLocal(o)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// cloneNoLocals copies rs without its function-local roots — the form that
+// may be stored in a cross-function summary.
+func (rs *rootSet) cloneNoLocals() *rootSet {
+	out := &rootSet{recv: rs.recv, params: rs.params}
+	for g := range rs.globals {
+		out.addGlobal(g)
+	}
+	return out
+}
+
+// effectSummary is one function's inferred write effect: which of its
+// receiver/parameters it (transitively) writes, and which roots each result
+// aliases. Global writes are per-node facts, not summary entries — the
+// noglobals check walks the call graph itself, so propagating them here
+// would double-report.
+type effectSummary struct {
+	writesRecv bool
+	wRecv      *effWitness
+	params     uint64
+	wParams    map[int]*effWitness
+	results    []*rootSet
+}
+
+// effSiteViol is one per-node violation fact (global write, frozen write,
+// post-publish write), carrying enough witness state to chase call chains.
+type effSiteViol struct {
+	pos    token.Pos
+	desc   string
+	name   string // the frozen/published binding's name
+	line   int    // the publish line (published violations)
+	callee *FuncNode
+	via    effRoot
+	ext    string
+}
+
+// effFacts are one node's per-pass facts. They are rebuilt from scratch on
+// every analysis pass (summaries are monotonic, facts are not), so only the
+// final fixpoint pass's facts stand.
+type effFacts struct {
+	globals    []effSiteViol
+	unresolved []token.Pos
+	frozen     []effSiteViol
+	published  []effSiteViol
+}
+
+// ---------------------------------------------------------------------------
+// Per-function analysis.
+// ---------------------------------------------------------------------------
+
+// effScope is the per-function analysis state for one pass over one body.
+type effScope struct {
+	m     *Module
+	n     *FuncNode
+	info  *types.Info
+	ei    *effectsInfo
+	sums  map[*FuncNode]*effectSummary
+	sum   *effectSummary
+	facts *effFacts
+
+	recvObj      types.Object
+	paramIdx     map[types.Object]int
+	namedResults map[types.Object]int
+	// env accumulates extra aliases per binding: x := e.Counts gives x the
+	// receiver's roots. Flow-insensitive — one set per binding, unioned over
+	// every assignment in the body.
+	env     map[types.Object]*rootSet
+	edgesAt map[token.Pos][]*Edge
+	// frozen: bindings received from a channel whose element carries
+	// //dophy:owner immutable fields. published: bindings sent with
+	// //dophy:transfers, mapped to the send position.
+	frozen    map[types.Object]token.Pos
+	published map[types.Object]token.Pos
+	pubLine   map[types.Object]int
+
+	changed   bool
+	seenUnres map[token.Pos]bool
+	seenGlob  map[globKey]bool
+	seenLocal map[localKey]bool
+}
+
+type globKey struct {
+	v   *types.Var
+	pos token.Pos
+}
+
+type localKey struct {
+	obj types.Object
+	pos token.Pos
+}
+
+// effAnalyzeNode runs one pass over n's body, updating its summary and
+// rebuilding its facts. It reports whether the summary changed (the SCC
+// fixpoint driver loops until no summary in the component moves).
+func (m *Module) effAnalyzeNode(n *FuncNode, sums map[*FuncNode]*effectSummary, facts map[*FuncNode]*effFacts, ei *effectsInfo, ci *contractInfo) bool {
+	s := &effScope{
+		m: m, n: n, info: n.Pkg.Info, ei: ei, sums: sums,
+		sum:          sums[n],
+		facts:        &effFacts{},
+		paramIdx:     map[types.Object]int{},
+		namedResults: map[types.Object]int{},
+		env:          map[types.Object]*rootSet{},
+		edgesAt:      map[token.Pos][]*Edge{},
+		frozen:       map[types.Object]token.Pos{},
+		published:    map[types.Object]token.Pos{},
+		pubLine:      map[types.Object]int{},
+		seenUnres:    map[token.Pos]bool{},
+		seenGlob:     map[globKey]bool{},
+		seenLocal:    map[localKey]bool{},
+	}
+	facts[n] = s.facts
+	if n.Decl.Recv != nil && len(n.Decl.Recv.List) > 0 && len(n.Decl.Recv.List[0].Names) > 0 {
+		s.recvObj = objectOf(s.info, n.Decl.Recv.List[0].Names[0])
+	}
+	idx := 0
+	if n.Decl.Type.Params != nil {
+		for _, f := range n.Decl.Type.Params.List {
+			if len(f.Names) == 0 {
+				idx++
+				continue
+			}
+			for _, nm := range f.Names {
+				if obj := objectOf(s.info, nm); obj != nil && idx < 64 {
+					s.paramIdx[obj] = idx
+				}
+				idx++
+			}
+		}
+	}
+	if n.Decl.Type.Results != nil {
+		ri := 0
+		for _, f := range n.Decl.Type.Results.List {
+			if len(f.Names) == 0 {
+				ri++
+				continue
+			}
+			for _, nm := range f.Names {
+				if obj := objectOf(s.info, nm); obj != nil {
+					s.namedResults[obj] = ri
+				}
+				ri++
+			}
+		}
+	}
+	for i := range n.Calls {
+		e := &n.Calls[i]
+		s.edgesAt[e.Pos] = append(s.edgesAt[e.Pos], e)
+	}
+	if ci.boundary[n.File] != nil {
+		s.collectBoundaryBindings(ci)
+	}
+	// Alias environment to a fixpoint: later bindings feed earlier ones in
+	// loops, so one walk is not enough.
+	for iter := 0; iter < 64; iter++ {
+		if !s.applyBindings() {
+			break
+		}
+	}
+	s.walkWrites()
+	return s.changed
+}
+
+// collectBoundaryBindings finds the frozen (channel-received) and published
+// (transfers-sent) bindings of a //dophy:concurrency-boundary file.
+func (s *effScope) collectBoundaryBindings(ci *contractInfo) {
+	body := s.n.Decl.Body
+	filePos := s.m.Fset.Position(body.Pos())
+	freeze := func(id *ast.Ident, pos token.Pos) {
+		if obj := objectOf(s.info, id); obj != nil {
+			if _, have := s.frozen[obj]; !have {
+				s.frozen[obj] = pos
+			}
+		}
+	}
+	ast.Inspect(body, func(x ast.Node) bool {
+		switch v := x.(type) {
+		case *ast.AssignStmt:
+			if len(v.Rhs) != 1 {
+				return true
+			}
+			ue, ok := ast.Unparen(v.Rhs[0]).(*ast.UnaryExpr)
+			if !ok || ue.Op != token.ARROW {
+				return true
+			}
+			if tv, ok := s.info.Types[ue.X]; ok && frozenElem(tv.Type, ci) {
+				if id, ok := ast.Unparen(v.Lhs[0]).(*ast.Ident); ok {
+					freeze(id, v.Pos())
+				}
+			}
+		case *ast.RangeStmt:
+			tv, ok := s.info.Types[v.X]
+			if !ok || !frozenElem(tv.Type, ci) {
+				return true
+			}
+			if id, ok := v.Key.(*ast.Ident); ok && v.Value == nil {
+				freeze(id, v.Pos())
+			}
+		case *ast.SendStmt:
+			line := s.m.Fset.Position(v.Pos()).Line
+			matched := false
+			for _, ta := range ci.transfers {
+				if ta.pkg == s.n.Pkg && ta.file == filePos.Filename && (ta.line == line || ta.line == line-1) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return true
+			}
+			id, ok := ast.Unparen(v.Value).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, _ := objectOf(s.info, id).(*types.Var)
+			if obj == nil || !hasRefType(obj.Type()) {
+				return true
+			}
+			if _, have := s.published[obj]; !have {
+				s.published[obj] = v.Pos()
+				s.pubLine[obj] = line
+			}
+		}
+		return true
+	})
+}
+
+// frozenElem reports whether t is a channel whose element (struct, possibly
+// behind a pointer) carries at least one //dophy:owner immutable field —
+// the opt-in that makes receives freezing.
+func frozenElem(t types.Type, ci *contractInfo) bool {
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	elem := ch.Elem()
+	if p, ok := elem.Underlying().(*types.Pointer); ok {
+		elem = p.Elem()
+	}
+	st, ok := elem.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if ann, ok := ci.fieldOwner[st.Field(i)]; ok && ann.dom == ownImmutable {
+			return true
+		}
+	}
+	return false
+}
+
+// applyBindings walks the body once, growing the alias environment, and
+// reports whether anything changed.
+func (s *effScope) applyBindings() bool {
+	changed := false
+	grow := func(obj types.Object, rs *rootSet) {
+		if obj == nil || rs.isEmpty() {
+			return
+		}
+		cur := s.env[obj]
+		if cur == nil {
+			cur = &rootSet{}
+			s.env[obj] = cur
+		}
+		if cur.union(rs) {
+			changed = true
+		}
+	}
+	// bind attaches the RHS roots to an LHS expression: identifiers gain the
+	// aliases directly; selector/index chains on a *value*-typed local chain
+	// back to the base binding (x.s = shared; x.s[0] = 1 must see the alias
+	// through x), while chains through pointers/slices are writes, handled
+	// by walkWrites, not bindings.
+	bind := func(lhs ast.Expr, rs *rootSet) {
+		if rs.isEmpty() {
+			return
+		}
+		lhs = ast.Unparen(lhs)
+		for {
+			switch v := lhs.(type) {
+			case *ast.Ident:
+				if v.Name == "_" {
+					return
+				}
+				obj := objectOf(s.info, v)
+				if obj == nil {
+					return
+				}
+				if _, isVar := obj.(*types.Var); !isVar {
+					return
+				}
+				if pkgLevelVar(obj) != nil {
+					return // writes to globals are facts, not bindings
+				}
+				if tv, ok := obj.(*types.Var); ok && !hasRefType(tv.Type()) {
+					// A value copy of a ref-free type shares no storage; the
+					// chained-base case still needs the alias, so only bare
+					// ident bindings are filtered.
+					if _, isChain := lhs.(*ast.Ident); isChain && lhs == v {
+						return
+					}
+				}
+				grow(obj, rs)
+				return
+			case *ast.SelectorExpr:
+				lhs = ast.Unparen(v.X)
+			case *ast.IndexExpr:
+				lhs = ast.Unparen(v.X)
+			case *ast.StarExpr:
+				return // write through a pointer: not a rebind
+			default:
+				return
+			}
+		}
+	}
+	ast.Inspect(s.n.Decl.Body, func(x ast.Node) bool {
+		switch v := x.(type) {
+		case *ast.AssignStmt:
+			if v.Tok != token.ASSIGN && v.Tok != token.DEFINE {
+				return true
+			}
+			s.bindAssign(v.Lhs, v.Rhs, bind)
+		case *ast.GenDecl:
+			if v.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range v.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) == 0 {
+					continue
+				}
+				lhs := make([]ast.Expr, len(vs.Names))
+				for i, nm := range vs.Names {
+					lhs[i] = nm
+				}
+				s.bindAssign(lhs, vs.Values, bind)
+			}
+		case *ast.RangeStmt:
+			tv, ok := s.info.Types[v.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				return true // receive: fresh (frozen handled separately)
+			}
+			rs := s.rootsOf(v.X, 0)
+			if v.Key != nil {
+				bind(v.Key, rs)
+			}
+			if v.Value != nil {
+				bind(v.Value, rs)
+			}
+		case *ast.TypeSwitchStmt:
+			// switch y := x.(type): each clause's implicit binding aliases x.
+			var operand ast.Expr
+			if as, ok := v.Assign.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+				if ta, ok := ast.Unparen(as.Rhs[0]).(*ast.TypeAssertExpr); ok {
+					operand = ta.X
+				}
+			}
+			if operand == nil {
+				return true
+			}
+			rs := s.rootsOf(operand, 0)
+			if rs.isEmpty() {
+				return true
+			}
+			for _, stmt := range v.Body.List {
+				if cc, ok := stmt.(*ast.CaseClause); ok {
+					if obj := s.info.Implicits[cc]; obj != nil {
+						grow(obj, rs)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// bindAssign distributes RHS roots over LHS expressions, handling the
+// multi-value forms (call, type assertion, map index, receive).
+func (s *effScope) bindAssign(lhs, rhs []ast.Expr, bind func(ast.Expr, *rootSet)) {
+	if len(rhs) == 1 && len(lhs) > 1 {
+		r := ast.Unparen(rhs[0])
+		if call, ok := r.(*ast.CallExpr); ok {
+			for i, l := range lhs {
+				bind(l, s.callResultRoots(call, i, 0))
+			}
+			return
+		}
+		// v, ok := x.(T) / m[k] / <-ch: index 0 carries the value.
+		var rs *rootSet
+		switch v := r.(type) {
+		case *ast.TypeAssertExpr:
+			rs = s.rootsOf(v.X, 0)
+		case *ast.IndexExpr:
+			rs = s.rootsOf(v.X, 0)
+		case *ast.UnaryExpr:
+			rs = &rootSet{} // receive: fresh
+		default:
+			rs = s.rootsOf(r, 0)
+		}
+		bind(lhs[0], rs)
+		return
+	}
+	for i, l := range lhs {
+		if i < len(rhs) {
+			bind(l, s.rootsOf(rhs[i], 0))
+		}
+	}
+}
+
+// rootsOf computes the alias roots of an expression's storage.
+func (s *effScope) rootsOf(e ast.Expr, depth int) *rootSet {
+	if depth > 32 {
+		// Pathological nesting: give up soundly (everything).
+		rs := &rootSet{recv: s.recvObj != nil, params: ^uint64(0)}
+		return rs
+	}
+	e = ast.Unparen(e)
+	switch v := e.(type) {
+	case *ast.Ident:
+		obj := objectOf(s.info, v)
+		if obj == nil {
+			return &rootSet{}
+		}
+		rs := &rootSet{}
+		if obj == s.recvObj {
+			rs.recv = true
+		} else if i, ok := s.paramIdx[obj]; ok {
+			rs.params = 1 << i
+		} else if g := pkgLevelVar(obj); g != nil {
+			rs.addGlobal(g)
+		}
+		if _, ok := s.frozen[obj]; ok {
+			rs.addLocal(obj)
+		}
+		if _, ok := s.published[obj]; ok {
+			rs.addLocal(obj)
+		}
+		if extra := s.env[obj]; extra != nil {
+			rs.union(extra)
+		}
+		return rs
+	case *ast.SelectorExpr:
+		sel := s.info.Selections[v]
+		if sel == nil {
+			// Package-qualified reference.
+			if g := pkgLevelVar(s.info.Uses[v.Sel]); g != nil {
+				rs := &rootSet{}
+				rs.addGlobal(g)
+				return rs
+			}
+			return &rootSet{}
+		}
+		if sel.Kind() != types.FieldVal {
+			return &rootSet{} // method value: receiver untracked (see limits)
+		}
+		if fv, ok := sel.Obj().(*types.Var); ok {
+			if _, transfers := s.ei.transferFields[fv]; transfers {
+				return &rootSet{} // ownership travelled with the struct
+			}
+		}
+		return s.rootsOf(v.X, depth+1)
+	case *ast.IndexExpr:
+		return s.rootsOf(v.X, depth+1)
+	case *ast.IndexListExpr:
+		return s.rootsOf(v.X, depth+1)
+	case *ast.SliceExpr:
+		return s.rootsOf(v.X, depth+1)
+	case *ast.StarExpr:
+		return s.rootsOf(v.X, depth+1)
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			return s.rootsOf(v.X, depth+1)
+		}
+		return &rootSet{} // <-ch and scalar ops: fresh
+	case *ast.CompositeLit:
+		rs := &rootSet{}
+		for _, elt := range v.Elts {
+			val := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				val = kv.Value
+			}
+			if tv, ok := s.info.Types[val]; ok && tv.Type != nil && !hasRefType(tv.Type) {
+				continue
+			}
+			rs.union(s.rootsOf(val, depth+1))
+		}
+		return rs
+	case *ast.TypeAssertExpr:
+		return s.rootsOf(v.X, depth+1)
+	case *ast.CallExpr:
+		return s.callResultRoots(v, 0, depth+1)
+	}
+	return &rootSet{}
+}
+
+// callResultRoots computes the roots of a call's k-th result by
+// substituting argument roots into the callees' result summaries. Unknown
+// callees degrade to the union of every storage-sharing argument.
+func (s *effScope) callResultRoots(call *ast.CallExpr, k, depth int) *rootSet {
+	if depth > 32 {
+		return &rootSet{recv: s.recvObj != nil, params: ^uint64(0)}
+	}
+	// Conversions alias their operand.
+	if tv, ok := s.info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return s.rootsOf(call.Args[0], depth+1)
+		}
+		return &rootSet{}
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && isBuiltin(s.info.Uses[id]) {
+		switch id.Name {
+		case "append":
+			rs := &rootSet{}
+			if len(call.Args) == 0 {
+				return rs
+			}
+			rs.union(s.rootsOf(call.Args[0], depth+1))
+			for _, arg := range call.Args[1:] {
+				if call.Ellipsis.IsValid() && arg == call.Args[len(call.Args)-1] {
+					// append(dst, src...): the spread copies elements, so the
+					// result aliases src's backing only when the elements
+					// themselves carry references.
+					if tv, ok := s.info.Types[arg]; ok && tv.Type != nil {
+						if sl, ok := tv.Type.Underlying().(*types.Slice); ok && !hasRefType(sl.Elem()) {
+							continue
+						}
+					}
+				}
+				if tv, ok := s.info.Types[arg]; ok && tv.Type != nil && !hasRefType(tv.Type) {
+					continue
+				}
+				rs.union(s.rootsOf(arg, depth+1))
+			}
+			return rs
+		default:
+			return &rootSet{}
+		}
+	}
+	edges := s.edgesAt[call.Pos()]
+	rs := &rootSet{}
+	conservative := len(edges) == 0
+	for _, e := range edges {
+		switch {
+		case e.Callee != nil:
+			csum := s.sums[e.Callee]
+			if csum == nil || k >= len(csum.results) {
+				continue
+			}
+			rs.union(s.substitute(csum.results[k], call, e.Callee))
+		default:
+			conservative = true
+		}
+	}
+	if conservative {
+		for _, arg := range call.Args {
+			if tv, ok := s.info.Types[arg]; ok && tv.Type != nil && !hasRefType(tv.Type) {
+				continue
+			}
+			rs.union(s.rootsOf(arg, depth+1))
+		}
+		if recv := s.methodRecvExpr(call); recv != nil {
+			rs.union(s.rootsOf(recv, depth+1))
+		}
+	}
+	return rs
+}
+
+// methodRecvExpr returns the receiver expression of a method call, or nil.
+func (s *effScope) methodRecvExpr(call *ast.CallExpr) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if sl := s.info.Selections[sel]; sl != nil && sl.Kind() == types.MethodVal {
+		return sel.X
+	}
+	return nil
+}
+
+// substitute maps a callee result's roots into the caller's frame: the
+// callee's receiver becomes the call's receiver expression roots, parameter
+// bits become argument roots, globals pass through.
+func (s *effScope) substitute(rs0 *rootSet, call *ast.CallExpr, callee *FuncNode) *rootSet {
+	out := &rootSet{}
+	if rs0 == nil {
+		return out
+	}
+	if rs0.recv {
+		if recv := s.methodRecvExpr(call); recv != nil {
+			out.union(s.rootsOf(recv, 0))
+		}
+	}
+	if rs0.params != 0 {
+		sig, _ := callee.Fn.Type().(*types.Signature)
+		for i := 0; i < 64; i++ {
+			if rs0.params&(1<<i) == 0 {
+				continue
+			}
+			for _, arg := range s.argsForParam(call, sig, i) {
+				out.union(s.rootsOf(arg, 0))
+			}
+		}
+	}
+	for g := range rs0.globals {
+		out.addGlobal(g)
+	}
+	return out
+}
+
+// argsForParam maps callee parameter index i to the caller argument
+// expressions that flow into it (several, for a variadic tail).
+func (s *effScope) argsForParam(call *ast.CallExpr, sig *types.Signature, i int) []ast.Expr {
+	if sig == nil {
+		if i < len(call.Args) {
+			return call.Args[i : i+1]
+		}
+		return nil
+	}
+	np := sig.Params().Len()
+	if sig.Variadic() && i == np-1 && !call.Ellipsis.IsValid() {
+		if np-1 <= len(call.Args) {
+			return call.Args[np-1:]
+		}
+		return nil
+	}
+	if i < len(call.Args) {
+		return call.Args[i : i+1]
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// The writes walk: direct writes, builtin writes, call-propagated writes,
+// and return-value roots.
+// ---------------------------------------------------------------------------
+
+// walkWrites scans the (env-stable) body for every write and return.
+func (s *effScope) walkWrites() {
+	ast.Inspect(s.n.Decl.Body, func(x ast.Node) bool {
+		switch v := x.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				s.writeTarget(lhs)
+			}
+		case *ast.IncDecStmt:
+			s.writeTarget(v.X)
+		case *ast.CallExpr:
+			s.callEffects(v)
+		case *ast.ReturnStmt:
+			s.recordReturn(v)
+		}
+		return true
+	})
+}
+
+// writeTarget attributes one assignment target to its roots. Value-typed
+// chains recurse toward the base (a field write on a value-typed local
+// stays local); pointer derefs, slice/map elements and package-level
+// variables are shared-storage writes.
+func (s *effScope) writeTarget(e ast.Expr) {
+	e = ast.Unparen(e)
+	switch v := e.(type) {
+	case *ast.Ident:
+		if v.Name == "_" {
+			return
+		}
+		obj := objectOf(s.info, v)
+		if g := pkgLevelVar(obj); g != nil {
+			s.recordWrite(&rootSet{globals: map[*types.Var]bool{g: true}}, v.Pos(), exprText(e), nil, effRoot{}, "")
+		}
+		// A plain local/param rebind replaces the binding, it writes nothing.
+	case *ast.SelectorExpr:
+		sel := s.info.Selections[v]
+		if sel == nil {
+			if g := pkgLevelVar(s.info.Uses[v.Sel]); g != nil {
+				s.recordWrite(&rootSet{globals: map[*types.Var]bool{g: true}}, v.Pos(), exprText(e), nil, effRoot{}, "")
+			}
+			return
+		}
+		if sel.Kind() != types.FieldVal {
+			return
+		}
+		baseIsPtr := false
+		if tv, ok := s.info.Types[v.X]; ok && tv.Type != nil {
+			_, baseIsPtr = tv.Type.Underlying().(*types.Pointer)
+		}
+		if sel.Indirect() || baseIsPtr {
+			s.recordWrite(s.rootsOf(v.X, 0), v.Pos(), exprText(e), nil, effRoot{}, "")
+			return
+		}
+		s.writeTarget(v.X) // field write on a value: charge the base binding
+	case *ast.IndexExpr:
+		if tv, ok := s.info.Types[v.X]; ok && tv.Type != nil {
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice, *types.Map, *types.Pointer:
+				s.recordWrite(s.rootsOf(v.X, 0), v.Pos(), exprText(e), nil, effRoot{}, "")
+				return
+			}
+		}
+		s.writeTarget(v.X) // array element on a value chains to the base
+	case *ast.StarExpr:
+		s.recordWrite(s.rootsOf(v.X, 0), v.Pos(), exprText(e), nil, effRoot{}, "")
+	}
+}
+
+// callEffects applies callee summaries (and conservative fallbacks) at one
+// call site.
+func (s *effScope) callEffects(call *ast.CallExpr) {
+	// Builtin writers.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && isBuiltin(s.info.Uses[id]) {
+		switch id.Name {
+		case "copy", "clear", "delete":
+			if len(call.Args) > 0 {
+				s.recordWrite(s.rootsOf(call.Args[0], 0), call.Pos(), exprText(call.Args[0]), nil, effRoot{}, "")
+			}
+		}
+		return
+	}
+	edges := s.edgesAt[call.Pos()]
+	for _, e := range edges {
+		switch {
+		case e.Callee != nil:
+			csum := s.sums[e.Callee]
+			if csum == nil {
+				continue
+			}
+			if csum.writesRecv {
+				if recv := s.methodRecvExpr(call); recv != nil {
+					s.recordWrite(s.rootsOf(recv, 0), call.Pos(), exprText(recv), e.Callee, effRoot{kind: effRecv}, "")
+				}
+			}
+			if csum.params != 0 {
+				sig, _ := e.Callee.Fn.Type().(*types.Signature)
+				for i := 0; i < 64; i++ {
+					if csum.params&(1<<i) == 0 {
+						continue
+					}
+					for _, arg := range s.argsForParam(call, sig, i) {
+						s.recordWrite(s.rootsOf(arg, 0), call.Pos(), exprText(arg), e.Callee, effRoot{kind: effParam, param: i}, "")
+					}
+				}
+			}
+		case e.Kind == EdgeExternal:
+			s.conservativeCallWrites(call, "external call "+extName(e.Ext))
+		case e.Kind == EdgeUnresolved:
+			reason := "an unresolvable indirect call"
+			if e.IfaceMiss {
+				// The callee necessarily lives outside the module: treated
+				// like an external call, not an unprovable dispatch point.
+				reason = "an interface call with no module implementation"
+			} else if !s.seenUnres[call.Pos()] {
+				s.seenUnres[call.Pos()] = true
+				s.facts.unresolved = append(s.facts.unresolved, call.Pos())
+			}
+			s.conservativeCallWrites(call, reason)
+		}
+	}
+}
+
+// conservativeCallWrites is the ⊤ fallback: every storage-sharing argument
+// (and the receiver) of an unanalyzable call must be assumed written.
+func (s *effScope) conservativeCallWrites(call *ast.CallExpr, reason string) {
+	for _, arg := range call.Args {
+		if tv, ok := s.info.Types[arg]; ok && tv.Type != nil && !hasRefType(tv.Type) {
+			continue
+		}
+		s.recordWrite(s.rootsOf(arg, 0), call.Pos(), exprText(arg), nil, effRoot{}, reason)
+	}
+	if recv := s.methodRecvExpr(call); recv != nil {
+		s.recordWrite(s.rootsOf(recv, 0), call.Pos(), exprText(recv), nil, effRoot{}, reason)
+	}
+}
+
+// recordWrite dispatches a write to the given roots: receiver/parameter
+// writes update the summary (set-once witnesses keep chains acyclic),
+// global and frozen/published-local writes become per-node facts.
+func (s *effScope) recordWrite(rs *rootSet, pos token.Pos, desc string, callee *FuncNode, via effRoot, ext string) {
+	if rs.isEmpty() {
+		return
+	}
+	mkWitness := func() *effWitness {
+		return &effWitness{pos: pos, desc: desc, pkg: s.n.Pkg, callee: callee, via: via, ext: ext}
+	}
+	if rs.recv && !s.sum.writesRecv {
+		s.sum.writesRecv = true
+		s.sum.wRecv = mkWitness()
+		s.changed = true
+	}
+	if bits := rs.params &^ s.sum.params; bits != 0 {
+		s.sum.params |= bits
+		if s.sum.wParams == nil {
+			s.sum.wParams = map[int]*effWitness{}
+		}
+		for i := 0; i < 64; i++ {
+			if bits&(1<<i) != 0 {
+				s.sum.wParams[i] = mkWitness()
+			}
+		}
+		s.changed = true
+	}
+	for g := range rs.globals {
+		k := globKey{g, pos}
+		if s.seenGlob[k] {
+			continue
+		}
+		s.seenGlob[k] = true
+		s.facts.globals = append(s.facts.globals, effSiteViol{pos: pos, desc: desc, name: g.Name(), callee: callee, via: via, ext: ext})
+	}
+	for obj := range rs.locals {
+		k := localKey{obj, pos}
+		if s.seenLocal[k] {
+			continue
+		}
+		s.seenLocal[k] = true
+		if _, frozen := s.frozen[obj]; frozen {
+			s.facts.frozen = append(s.facts.frozen, effSiteViol{pos: pos, desc: desc, name: obj.Name(), callee: callee, via: via, ext: ext})
+		}
+		if pubPos, published := s.published[obj]; published && pos > pubPos {
+			s.facts.published = append(s.facts.published, effSiteViol{pos: pos, desc: desc, name: obj.Name(), line: s.pubLine[obj], callee: callee, via: via, ext: ext})
+		}
+	}
+	// Deterministic fact order regardless of map iteration: globals and
+	// locals are sorted at diagnostic time by position (already stable) —
+	// position dedup above keeps one entry per site.
+}
+
+// recordReturn merges the returned expressions' roots into the result
+// summaries (locals stripped: they are meaningless across the call).
+func (s *effScope) recordReturn(ret *ast.ReturnStmt) {
+	nres := len(s.sum.results)
+	if nres == 0 {
+		return
+	}
+	sig, _ := s.n.Fn.Type().(*types.Signature)
+	mergeAt := func(k int, rs *rootSet) {
+		if k >= nres || rs == nil {
+			return
+		}
+		if sig != nil && k < sig.Results().Len() && !hasRefType(sig.Results().At(k).Type()) {
+			return
+		}
+		if s.sum.results[k].union(rs.cloneNoLocals()) {
+			s.changed = true
+		}
+	}
+	if len(ret.Results) == 0 {
+		// Bare return: named results carry whatever they were bound to.
+		for obj, k := range s.namedResults {
+			mergeAt(k, s.env[obj])
+		}
+		return
+	}
+	if len(ret.Results) == 1 && nres > 1 {
+		if call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr); ok {
+			for k := 0; k < nres; k++ {
+				mergeAt(k, s.callResultRoots(call, k, 0))
+			}
+		}
+		return
+	}
+	for k, r := range ret.Results {
+		mergeAt(k, s.rootsOf(r, 0))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SCC driver.
+// ---------------------------------------------------------------------------
+
+// sccs returns the call graph's strongly connected components in reverse
+// topological order (callees before callers), via Tarjan's algorithm over
+// the module-local edges.
+func (cg *CallGraph) sccs() [][]*FuncNode {
+	index := map[*FuncNode]int{}
+	low := map[*FuncNode]int{}
+	onStack := map[*FuncNode]bool{}
+	var stack []*FuncNode
+	var out [][]*FuncNode
+	next := 0
+	var strongconnect func(n *FuncNode)
+	strongconnect = func(n *FuncNode) {
+		index[n] = next
+		low[n] = next
+		next++
+		stack = append(stack, n)
+		onStack[n] = true
+		for i := range n.Calls {
+			c := n.Calls[i].Callee
+			if c == nil {
+				continue
+			}
+			if _, seen := index[c]; !seen {
+				strongconnect(c)
+				if low[c] < low[n] {
+					low[n] = low[c]
+				}
+			} else if onStack[c] && index[c] < low[n] {
+				low[n] = index[c]
+			}
+		}
+		if low[n] == index[n] {
+			var scc []*FuncNode
+			for {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[top] = false
+				scc = append(scc, top)
+				if top == n {
+					break
+				}
+			}
+			out = append(out, scc)
+		}
+	}
+	for _, n := range cg.order {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	return out
+}
+
+// newEffectSummary builds the starting summary for a node: empty for bodied
+// functions, conservative (writes everything reference-typed it was handed)
+// for bodyless declarations.
+func newEffectSummary(n *FuncNode) *effectSummary {
+	sig, _ := n.Fn.Type().(*types.Signature)
+	sum := &effectSummary{}
+	if sig != nil {
+		sum.results = make([]*rootSet, sig.Results().Len())
+		for i := range sum.results {
+			sum.results[i] = &rootSet{}
+		}
+	}
+	if n.Decl.Body != nil || sig == nil {
+		return sum
+	}
+	ext := n.Fn.Name() + " is declared without a body; the analysis must assume it writes its arguments"
+	resRoots := &rootSet{}
+	if sig.Recv() != nil && hasRefType(sig.Recv().Type()) {
+		sum.writesRecv = true
+		sum.wRecv = &effWitness{pos: n.Decl.Pos(), desc: "receiver", pkg: n.Pkg, ext: ext}
+		resRoots.recv = true
+	}
+	sum.wParams = map[int]*effWitness{}
+	for i := 0; i < sig.Params().Len() && i < 64; i++ {
+		if !hasRefType(sig.Params().At(i).Type()) {
+			continue
+		}
+		sum.params |= 1 << i
+		sum.wParams[i] = &effWitness{pos: n.Decl.Pos(), desc: sig.Params().At(i).Name(), pkg: n.Pkg, ext: ext}
+		resRoots.params |= 1 << i
+	}
+	for i := range sum.results {
+		if hasRefType(sig.Results().At(i).Type()) {
+			sum.results[i].union(resRoots)
+		}
+	}
+	return sum
+}
+
+// effectsAnalysis runs (once) the whole-module bottom-up summary inference.
+func (m *Module) effectsAnalysis() (map[*FuncNode]*effectSummary, map[*FuncNode]*effFacts) {
+	if m.effSums != nil {
+		return m.effSums, m.effFacts
+	}
+	ei := m.effectsInfoOf()
+	ci := m.contractInfo()
+	cg := m.CallGraph()
+	sums := map[*FuncNode]*effectSummary{}
+	facts := map[*FuncNode]*effFacts{}
+	for _, n := range cg.order {
+		sums[n] = newEffectSummary(n)
+		facts[n] = &effFacts{}
+	}
+	m.effSums, m.effFacts = sums, facts
+	for _, scc := range cg.sccs() {
+		for iter := 0; iter < 64; iter++ {
+			changed := false
+			for _, n := range scc {
+				if n.Decl.Body == nil {
+					continue
+				}
+				if m.effAnalyzeNode(n, sums, facts, ei, ci) {
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	return sums, facts
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics.
+// ---------------------------------------------------------------------------
+
+// chaseWitness follows a witness through callee summaries to the deepest
+// write, returning the function chain (caller first), the node the write
+// lives in, and the final witness.
+func chaseWitness(n *FuncNode, w *effWitness, sums map[*FuncNode]*effectSummary) (chain string, last *FuncNode, final *effWitness) {
+	parts := []string{n.Name()}
+	last, final = n, w
+	for depth := 0; depth < 64 && final != nil && final.callee != nil; depth++ {
+		next := final.callee
+		parts = append(parts, next.Name())
+		csum := sums[next]
+		var nw *effWitness
+		if csum != nil {
+			switch final.via.kind {
+			case effRecv:
+				nw = csum.wRecv
+			case effParam:
+				nw = csum.wParams[final.via.param]
+			case effGlobal:
+				// Globals are per-node facts with callee == nil; a chase
+				// never routes through one.
+			}
+		}
+		last = next
+		if nw == nil {
+			final = &effWitness{pos: next.Decl.Pos(), desc: "value", pkg: next.Pkg}
+			break
+		}
+		final = nw
+	}
+	return strings.Join(parts, " -> "), last, final
+}
+
+// effectDiags runs (once) the whole-module write-effect analysis and caches
+// the readonly/effects diagnostics for per-package replay.
+func (m *Module) effectDiags() []contractDiag {
+	if m.effDone {
+		return m.effDiags
+	}
+	m.effDone = true
+	ei := m.effectsInfoOf()
+	diags := append([]contractDiag{}, ei.annDiags...)
+	sums, facts := m.effectsAnalysis()
+	cg := m.CallGraph()
+
+	report := func(rule string, start *FuncNode, w *effWitness, format func(chain string, fin *effWitness) string) {
+		chain, last, fin := chaseWitness(start, w, sums)
+		diags = append(diags, contractDiag{rule: rule, pkg: last.Pkg, pos: fin.pos, msg: format(chain, fin)})
+	}
+
+	// readonly: annotated roots with a set summary bit.
+	for _, n := range cg.order {
+		ann := ei.readonly[n.Fn]
+		if ann == nil {
+			continue
+		}
+		sum := sums[n]
+		viol := func(kind, name string, w *effWitness) {
+			report("readonly", n, w, func(chain string, fin *effWitness) string {
+				if fin.ext != "" {
+					return fmt.Sprintf("%s aliases %s %q of %s (//dophy:readonly) and reaches %s, which the effect analysis must assume writes it (write chain: %s)",
+						fin.desc, kind, name, n.Name(), fin.ext, chain)
+				}
+				return fmt.Sprintf("write to %s mutates %s %q of %s, annotated //dophy:readonly (write chain: %s)",
+					fin.desc, kind, name, n.Name(), chain)
+			})
+		}
+		if ann.recv && sum.writesRecv && sum.wRecv != nil {
+			name := ann.recvName
+			if name == "" {
+				name = "recv"
+			}
+			viol("receiver", name, sum.wRecv)
+		}
+		for _, pi := range ann.params {
+			if sum.params&(1<<pi) != 0 && sum.wParams[pi] != nil {
+				viol("parameter", ann.names[pi], sum.wParams[pi])
+			}
+		}
+	}
+
+	// frozen / published channel-boundary facts.
+	for _, n := range cg.order {
+		f := facts[n]
+		for i := range f.frozen {
+			v := &f.frozen[i]
+			w := &effWitness{pos: v.pos, desc: v.desc, pkg: n.Pkg, callee: v.callee, via: v.via, ext: v.ext}
+			name := v.name
+			report("effects", n, w, func(chain string, fin *effWitness) string {
+				if fin.ext != "" {
+					return fmt.Sprintf("%s aliases %s, received from a channel whose element carries //dophy:owner immutable fields, and reaches %s, which the effect analysis must assume writes it (write chain: %s)",
+						fin.desc, name, fin.ext, chain)
+				}
+				return fmt.Sprintf("write to %s mutates %s, received from a channel whose element carries //dophy:owner immutable fields; received values are frozen (write chain: %s)",
+					fin.desc, name, chain)
+			})
+		}
+		for i := range f.published {
+			v := &f.published[i]
+			w := &effWitness{pos: v.pos, desc: v.desc, pkg: n.Pkg, callee: v.callee, via: v.via, ext: v.ext}
+			name, line := v.name, v.line
+			report("effects", n, w, func(chain string, fin *effWitness) string {
+				if fin.ext != "" {
+					return fmt.Sprintf("%s aliases %s, published on line %d (//dophy:transfers), and reaches %s after the send, which the effect analysis must assume writes it (write chain: %s)",
+						fin.desc, name, line, fin.ext, chain)
+				}
+				return fmt.Sprintf("write to %s mutates %s after its //dophy:transfers send on line %d: the effect analysis proves the write reaches the published value (write chain: %s)",
+					fin.desc, name, line, chain)
+			})
+		}
+	}
+
+	// noglobals: BFS from every //dophy:effects noglobals root over provable
+	// edges — the same traversal discipline as hotpathalloc.
+	type visit struct {
+		node *FuncNode
+		via  *visit
+	}
+	var roots []*FuncNode
+	for _, n := range cg.order {
+		if _, ok := ei.noGlobals[n.Fn]; ok {
+			roots = append(roots, n)
+		}
+	}
+	visited := map[*FuncNode]*visit{}
+	var queue []*visit
+	for _, r := range roots {
+		v := &visit{node: r}
+		visited[r] = v
+		queue = append(queue, v)
+	}
+	chainOf := func(v *visit) string {
+		var parts []string
+		for cur := v; cur != nil; cur = cur.via {
+			parts = append(parts, cur.node.Name())
+		}
+		for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+			parts[i], parts[j] = parts[j], parts[i]
+		}
+		return strings.Join(parts, " -> ")
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		node := v.node
+		chain := chainOf(v)
+		f := facts[node]
+		for i := range f.globals {
+			g := &f.globals[i]
+			diags = append(diags, contractDiag{rule: "effects", pkg: node.Pkg, pos: g.pos,
+				msg: fmt.Sprintf("write to %s on a //dophy:effects noglobals path (call chain: %s)", g.desc, chain)})
+		}
+		for _, pos := range f.unresolved {
+			diags = append(diags, contractDiag{rule: "effects", pkg: node.Pkg, pos: pos,
+				msg: fmt.Sprintf("indirect call on a //dophy:effects noglobals path (%s): callees cannot be proven to leave package-level state alone", chain)})
+		}
+		hasUnres := map[token.Pos]bool{}
+		for i := range node.Calls {
+			if node.Calls[i].Kind == EdgeUnresolved {
+				hasUnres[node.Calls[i].Pos] = true
+			}
+		}
+		descend := func(e *Edge) {
+			if e.Callee == nil || visited[e.Callee] != nil {
+				return
+			}
+			next := &visit{node: e.Callee, via: v}
+			visited[e.Callee] = next
+			queue = append(queue, next)
+		}
+		for i := range node.Calls {
+			e := &node.Calls[i]
+			switch e.Kind {
+			case EdgeDirect, EdgeInterface:
+				descend(e)
+			case EdgeFuncValue:
+				if !hasUnres[e.Pos] {
+					descend(e)
+				}
+			case EdgeUnresolved, EdgeExternal:
+				// Reported through the node's facts (unresolved sites) or out
+				// of scope (external bodies); nothing to descend into.
+			}
+		}
+	}
+
+	sortContractDiags(m, diags)
+	m.effDiags = diags
+	return diags
+}
+
+// sortContractDiags orders whole-module diagnostics by position so replay
+// order is deterministic regardless of traversal order.
+func sortContractDiags(m *Module, diags []contractDiag) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := m.Fset.Position(diags[i].pos), m.Fset.Position(diags[j].pos)
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].msg < diags[j].msg
+	})
+}
+
+// replayEffectDiags filters the cached write-effect diagnostics down to one
+// rule and package, re-entering the per-Run report path so waivers apply.
+func (m *Module) replayEffectDiags(rule string, pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	for _, d := range m.effectDiags() {
+		if d.pkg == pkg && d.rule == rule {
+			report(d.pos, "%s", d.msg)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Rule readonly: //dophy:readonly roots are transitively un-written.
+// ---------------------------------------------------------------------------
+
+type ruleReadOnly struct{}
+
+func (ruleReadOnly) Name() string { return "readonly" }
+
+func (ruleReadOnly) Check(m *Module, pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	m.replayEffectDiags("readonly", pkg, report)
+}
+
+// ---------------------------------------------------------------------------
+// Rule effects: no global writes reachable from //dophy:effects noglobals
+// roots, and channel-crossing values are frozen after the hand-off.
+// ---------------------------------------------------------------------------
+
+type ruleEffects struct{}
+
+func (ruleEffects) Name() string { return "effects" }
+
+func (ruleEffects) Check(m *Module, pkg *Package, report func(pos token.Pos, format string, args ...any)) {
+	m.replayEffectDiags("effects", pkg, report)
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers.
+// ---------------------------------------------------------------------------
+
+// hasRefType reports whether values of t can share storage: it is isRefType
+// extended through struct fields and array elements, because a struct value
+// holding a slice still aliases the slice's backing array when copied.
+func hasRefType(t types.Type) bool { return hasRefs(t, 0) }
+
+func hasRefs(t types.Type, depth int) bool {
+	if t == nil || depth > 8 {
+		return true // unknown or too deep: assume shareable (sound)
+	}
+	switch v := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Struct:
+		for i := 0; i < v.NumFields(); i++ {
+			if hasRefs(v.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+		return false
+	case *types.Array:
+		return hasRefs(v.Elem(), depth+1)
+	}
+	return false
+}
+
+// pkgLevelVar returns obj as a package-level variable, or nil. Variables of
+// imported packages (os.Stdout) count too: writing them is still writing
+// global state.
+func pkgLevelVar(obj types.Object) *types.Var {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if v.Pkg() == nil || v.Parent() == nil {
+		return nil
+	}
+	if v.Parent() == v.Pkg().Scope() {
+		return v
+	}
+	return nil
+}
+
+// exprText renders an expression compactly for diagnostics.
+func exprText(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprText(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return exprText(v.X) + "[...]"
+	case *ast.IndexListExpr:
+		return exprText(v.X) + "[...]"
+	case *ast.SliceExpr:
+		return exprText(v.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprText(v.X)
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			return "&" + exprText(v.X)
+		}
+		return "value"
+	case *ast.CallExpr:
+		return exprText(v.Fun) + "(...)"
+	case *ast.ParenExpr:
+		return exprText(v.X)
+	case *ast.TypeAssertExpr:
+		return exprText(v.X)
+	}
+	return "value"
+}

@@ -35,6 +35,7 @@ func AllRules() []Rule {
 		ruleRand{}, ruleWallTime{}, ruleMapRange{}, ruleGoStmt{}, rulePoolEscape{}, ruleDenseBound{},
 		ruleHotPathAlloc{}, ruleDetermFlow{}, ruleIdxDomain{}, ruleValRange{}, ruleExhaustive{},
 		ruleOwnerCross{}, ruleSendOwn{}, ruleBarrierOrder{}, ruleLifecycle{}, ruleBorrowSpan{},
+		ruleReadOnly{}, ruleEffects{},
 	}
 }
 

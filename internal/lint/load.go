@@ -104,6 +104,15 @@ type Module struct {
 	bwInfo  *borrowInfo
 	bwDiags []contractDiag
 	bwDone  bool
+	// effInfo/effSums/effFacts/effDiags/effDone cache the write-effect layer
+	// (effects.go): parsed //dophy:readonly / //dophy:effects annotations,
+	// per-function write-effect summaries and per-node violation facts, and
+	// the readonly/effects rules' whole-module diagnostics.
+	effInfo  *effectsInfo
+	effSums  map[*FuncNode]*effectSummary
+	effFacts map[*FuncNode]*effFacts
+	effDiags []contractDiag
+	effDone  bool
 }
 
 // LoadConfig parameterises module loading.

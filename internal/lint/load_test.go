@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -32,5 +34,136 @@ func TestLoadHealthyFixture(t *testing.T) {
 	}
 	if len(mod.Packages) == 0 {
 		t.Fatal("fixture module loaded zero packages")
+	}
+}
+
+// writeTree materialises a map of relative path -> contents under a fresh
+// temp directory and returns the root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestLoadMalformedRoots table-drives the loader's fatal paths through
+// synthetic module roots — the errors dophy-lint turns into exit 2. Each
+// failure must be an error from Load, never a half-loaded module.
+func TestLoadMalformedRoots(t *testing.T) {
+	cases := []struct {
+		name    string
+		files   map[string]string
+		wantErr string
+	}{
+		{
+			name:    "missing go.mod",
+			files:   map[string]string{"a.go": "package a\n"},
+			wantErr: "go.mod",
+		},
+		{
+			name: "empty module directive",
+			files: map[string]string{
+				"go.mod": "module\n\ngo 1.21\n",
+				"a.go":   "package a\n",
+			},
+			wantErr: "no module directive",
+		},
+		{
+			name: "unparsable source",
+			files: map[string]string{
+				"go.mod": "module broken\n\ngo 1.21\n",
+				"a.go":   "package a\n\nfunc {\n",
+			},
+			wantErr: "a.go",
+		},
+		{
+			name: "import of missing sibling package",
+			files: map[string]string{
+				"go.mod": "module broken\n\ngo 1.21\n",
+				"a.go":   "package a\n\nimport _ \"broken/missing\"\n",
+			},
+			wantErr: "broken/missing",
+		},
+		{
+			name: "all files excluded by build tags",
+			files: map[string]string{
+				"go.mod": "module broken\n\ngo 1.21\n",
+				"a.go":   "//go:build some_tag_never_set\n\npackage a\n",
+			},
+			wantErr: "no buildable Go files",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			root := writeTree(t, tc.files)
+			mod, err := Load(root, LoadConfig{})
+			if err == nil {
+				t.Fatalf("Load succeeded on a malformed root; want error containing %q", tc.wantErr)
+			}
+			if mod != nil {
+				t.Error("Load returned a non-nil module alongside the error")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("Load error = %v; want it to contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestLoadBuildTagVariants pins the tag semantics the two-pass lint run
+// relies on: a //go:build dophy_invariants file is in scope exactly when
+// the tag is configured, host-platform and go1.x tags are always
+// satisfied, and foreign-platform files stay excluded under every set.
+func TestLoadBuildTagVariants(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":   "module tagged\n\ngo 1.21\n",
+		"base.go":  "package a\n\nconst Base = 1\n",
+		"gated.go": "//go:build dophy_invariants\n\npackage a\n\nconst Gated = 2\n",
+		"plat.go":  "//go:build linux || darwin\n\npackage a\n\nconst Plat = 3\n",
+		"ver.go":   "//go:build go1.21\n\npackage a\n\nconst Ver = 4\n",
+		"other.go": "//go:build windows\n\npackage a\n\nconst Other = 5\n",
+	})
+	fileSet := func(tags []string) map[string]bool {
+		t.Helper()
+		mod, err := Load(root, LoadConfig{Tags: tags})
+		if err != nil {
+			t.Fatalf("Load(tags=%v): %v", tags, err)
+		}
+		if len(mod.Packages) != 1 {
+			t.Fatalf("Load(tags=%v): %d packages, want 1", tags, len(mod.Packages))
+		}
+		names := map[string]bool{}
+		for _, f := range mod.Packages[0].Files {
+			names[f.Name] = true
+		}
+		return names
+	}
+	cases := []struct {
+		tags []string
+		want map[string]bool
+	}{
+		{nil, map[string]bool{"base.go": true, "plat.go": true, "ver.go": true}},
+		{[]string{"dophy_invariants"}, map[string]bool{"base.go": true, "gated.go": true, "plat.go": true, "ver.go": true}},
+	}
+	for _, tc := range cases {
+		got := fileSet(tc.tags)
+		for name := range tc.want {
+			if !got[name] {
+				t.Errorf("tags=%v: %s excluded, want included", tc.tags, name)
+			}
+		}
+		for name := range got {
+			if !tc.want[name] {
+				t.Errorf("tags=%v: %s included, want excluded", tc.tags, name)
+			}
+		}
 	}
 }

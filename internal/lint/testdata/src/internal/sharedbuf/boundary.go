@@ -1,0 +1,67 @@
+// The channel side of the blind spot: slabs cross a single-producer
+// single-consumer hand-off once. The receive side freezes what it got; the
+// send side publishes and then writes through an alias taken before the
+// send — the shape sendown cannot see because the sent identifier itself
+// is never touched again.
+//
+//dophy:concurrency-boundary -- fixture hand-off; slabs cross the channel once and are frozen on the consumer side
+package sharedbuf
+
+// slab is the hand-off unit; its payload is sealed at construction.
+type slab struct {
+	vals []float64 //dophy:owner immutable -- filled by the producer before the send
+	// The result slot travels with the slab: once it crosses the channel
+	// the consumer owns it, so writing through it is the one sanctioned
+	// post-receive write.
+	//
+	//dophy:transfers -- ownership of the result slot moves with the slab to the consumer
+	out []float64
+}
+
+// spawnDrain starts the consumer stage; sanctioned by the boundary pragma.
+func spawnDrain(in <-chan *slab, outs chan<- float64) {
+	go drainSlabs(in, outs)
+}
+
+// drainSlabs folds each slab and — the violation — caches the total back
+// into the received payload it does not own, through an alias the
+// ownercross field check cannot see.
+func drainSlabs(in <-chan *slab, outs chan<- float64) {
+	for s := range in {
+		buf := s.vals
+		tot := 0.0
+		for _, v := range buf {
+			tot += v
+		}
+		s.out[0] = tot // sanctioned: ownership of out travelled with the slab
+		buf[0] = tot   // want "received values are frozen"
+		outs <- tot
+	}
+	close(outs)
+}
+
+// publish sends each slab downstream and then rewrites the published
+// payload through tail, an alias taken before the send.
+func publish(out chan<- *slab, n int) {
+	for i := 0; i < n; i++ {
+		s := &slab{vals: make([]float64, 1), out: make([]float64, 1)}
+		tail := s.vals
+		//dophy:transfers -- the slab belongs to the consumer once sent
+		out <- s
+		tail[0] = float64(i) // want "after its //dophy:transfers send on line"
+	}
+	close(out)
+}
+
+// RunSlabs wires the two stages together.
+func RunSlabs(n int) float64 {
+	in := make(chan *slab, 1)
+	outs := make(chan float64, 1)
+	spawnDrain(in, outs)
+	go publish(in, n)
+	var sum float64
+	for v := range outs {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,150 @@
+// Package sharedbuf pins the write-effect prover's coverage of the alias
+// blind spot: a shared-slice mutation routed through an alias two calls
+// deep. No channel send and no borrow is involved, so the sendown and
+// borrowspan rules both pass this package — only the inter-procedural
+// effect analysis attributes the leaf write back to the annotated root.
+// The malformed-annotation hygiene shapes live here too.
+package sharedbuf
+
+// Smooth promises its callers the history buffer survives the call, then
+// hands it down an alias chain that rewrites it two calls deep.
+//
+//dophy:readonly vals -- callers reuse the history buffer across epochs
+func Smooth(vals []float64) float64 {
+	mid(vals)
+	return vals[0]
+}
+
+// mid only forwards: the alias hop that hides the write from any
+// single-function check.
+func mid(v []float64) { leafScale(v) }
+
+// leafScale is the leaf mutation the prover must attribute to Smooth's
+// parameter through two substitutions.
+func leafScale(v []float64) {
+	for i := range v {
+		v[i] *= 0.5 // want "annotated //dophy:readonly (write chain: internal/sharedbuf.Smooth -> internal/sharedbuf.mid -> internal/sharedbuf.leafScale)"
+	}
+}
+
+// hist is estimator-like state: a method chain that mutates the receiver
+// under a readonly promise.
+type hist struct{ bins []float64 }
+
+// Snapshot claims to be a pure read but normalises the bins in place one
+// call down.
+//
+//dophy:readonly recv -- snapshots must leave the accumulating bins intact
+func (h *hist) Snapshot() []float64 {
+	h.norm()
+	return h.bins
+}
+
+func (h *hist) norm() {
+	for i := range h.bins {
+		h.bins[i] /= 2 // want "annotated //dophy:readonly (write chain: internal/sharedbuf.(*hist).Snapshot -> internal/sharedbuf.(*hist).norm)"
+	}
+}
+
+// Drain promises sink stays un-written but passes it to an unresolvable
+// func value: the analysis must assume the callee writes it.
+//
+//dophy:readonly sink -- the sink buffer is shared with the producer
+func Drain(sink []float64, f func([]float64)) {
+	f(sink) // want "which the effect analysis must assume writes it"
+}
+
+// hits is package-level state a noglobals path may not touch.
+var hits int64
+
+func bump() { hits++ } // want "write to hits on a //dophy:effects noglobals path (call chain: internal/sharedbuf.Tally -> internal/sharedbuf.bump)"
+
+// Tally runs concurrently with the producer, so it must not write package
+// state — but its counter helper does.
+//
+//dophy:effects noglobals -- runs on the estimation goroutine
+func Tally(vals []float64) float64 {
+	bump()
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum
+}
+
+// hook is a package-level extension point; calling it is unresolvable.
+var hook func()
+
+// RunHook sits on a noglobals path but dispatches through a func value the
+// call graph cannot resolve.
+//
+//dophy:effects noglobals -- runs on the estimation goroutine
+func RunHook() {
+	if hook != nil {
+		hook() // want "indirect call on a //dophy:effects noglobals path (internal/sharedbuf.RunHook)"
+	}
+}
+
+// The hygiene shapes: each pragma below is malformed in exactly one way.
+
+// badEmpty names nothing.
+//
+//dophy:readonly -- names nothing // want "malformed //dophy:readonly: name the receiver (recv) or the parameters"
+func badEmpty(v []float64) float64 { return v[0] }
+
+// badTwice repeats a name.
+//
+//dophy:readonly v v -- repeated name // want "names v twice"
+func badTwice(v []float64) float64 { return v[0] }
+
+// badRecv asks for a receiver on a plain function.
+//
+//dophy:readonly recv -- no receiver here // want "which has no receiver"
+func badRecv(v []float64) float64 { return v[0] }
+
+// tick is scalar-only: a readonly receiver protects nothing.
+type tick struct{ n int }
+
+// Total has nothing shared to keep un-written.
+//
+//dophy:readonly recv -- scalar receiver // want "no reference-typed storage; //dophy:readonly recv is vacuous"
+func (t tick) Total() int { return t.n }
+
+// badName names a parameter that does not exist.
+//
+//dophy:readonly bogus -- no such parameter // want "which is not a parameter of badName"
+func badName(v []float64) float64 { return v[0] }
+
+// badScalar names a scalar parameter.
+//
+//dophy:readonly n -- scalar parameter // want "no reference-typed storage; //dophy:readonly is vacuous"
+func badScalar(v []float64, n int) float64 { return v[n] }
+
+// badEffects asks for an unknown effect class.
+//
+//dophy:effects nukeglobals -- unknown class // want "malformed //dophy:effects: want 'noglobals'"
+func badEffects(v []float64) float64 { return v[0] }
+
+// inner exists to be embedded.
+type inner struct{ p *float64 }
+
+// wrapper pins the field-pragma hygiene: ownership cannot travel with an
+// unnamed field, and a scalar field has nothing to hand over.
+type wrapper struct {
+	//dophy:transfers -- embedded // want "on embedded fields is not supported"
+	inner
+	//dophy:transfers -- scalar // want "has no reference-typed storage; nothing changes ownership"
+	count int
+}
+
+// use keeps the hygiene-only decls referenced.
+func use(w *wrapper, t tick) float64 {
+	vals := []float64{1, 2}
+	_ = badEmpty(vals)
+	_ = badTwice(vals)
+	_ = badRecv(vals)
+	_ = badName(vals)
+	_ = badScalar(vals, 0)
+	_ = badEffects(vals)
+	return float64(t.Total()+w.count) + *w.p
+}
